@@ -1,0 +1,18 @@
+"""Ablation A4: FTL write amplification vs over-provisioning."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_ftl_wear
+
+
+def test_ablation_ftl_wear(benchmark, emit):
+    result = emit(run_once(benchmark, ablation_ftl_wear))
+    wafs = [row[2] for row in result.rows]
+    capacities = [row[1] for row in result.rows]
+    # More over-provisioning: less exported capacity, lower WAF.
+    assert all(b < a for a, b in zip(capacities, capacities[1:]))
+    assert all(b < a for a, b in zip(wafs, wafs[1:]))
+    # Random churn at tight OP amplifies hard; generous OP approaches 1.
+    assert wafs[0] > 3.0
+    assert wafs[-1] < 2.0
+    assert all(w >= 1.0 for w in wafs)

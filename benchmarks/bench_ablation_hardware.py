@@ -1,0 +1,27 @@
+"""Ablation A2: more device hardware (cores / DRAM bus) toward the 10x."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_device_hardware
+
+
+def test_ablation_device_hardware(benchmark, emit):
+    result = emit(run_once(benchmark, ablation_device_hardware))
+    # rows: [cores, bus MB/s, elapsed, speedup, bottleneck]
+    at_bus = {}
+    for cores, bus, elapsed, speedup, bottleneck in result.rows:
+        at_bus.setdefault(bus, []).append((cores, speedup, bottleneck))
+    # At the stock 1,560 MB/s bus, adding cores eventually hits the DRAM
+    # bus wall (the paper's §4.2 bottleneck discussion).
+    stock = at_bus[1560]
+    assert stock[-1][2] == "dram_bus"
+    # With a faster bus the same core counts keep scaling.
+    fast = at_bus[max(at_bus)]
+    assert fast[-1][1] > stock[-1][1]
+    # Speedup is monotone in core count under every bus rate.
+    for rows in at_bus.values():
+        speedups = [s for __, s, __ in rows]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # The best configuration clearly beats the paper's 1.7x device.
+    best = max(row[3] for row in result.rows)
+    assert best > 3.0

@@ -1,0 +1,24 @@
+"""Ablation A5: pushdown benefit vs host-interface generation."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_interface_generation
+
+
+def test_ablation_interface_generation(benchmark, emit):
+    result = emit(run_once(benchmark, ablation_interface_generation))
+    # rows: [interface, MB/s, host s, smart s, speedup, host bottleneck]
+    speedups = {row[0]: row[4] for row in result.rows}
+    # Slower interfaces starve the host harder => bigger pushdown win.
+    assert speedups["sata2"] > speedups["sas6"] > 1.0
+    # Fast interfaces invert the result: pushdown becomes pure overhead.
+    assert speedups["sas12"] < 1.0
+    assert speedups["pcie3x4"] < 1.0
+    # Past the internal DRAM-bus rate the host path stops improving.
+    host_times = {row[0]: row[2] for row in result.rows}
+    assert host_times["pcie3x4"] == host_times["pcie2x4"]
+    bottlenecks = {row[0]: row[5] for row in result.rows}
+    assert bottlenecks["pcie3x4"] == "dram_bus"
+    # The smart path is interface-insensitive (results are tiny).
+    smart_times = [row[3] for row in result.rows]
+    assert max(smart_times) - min(smart_times) < 0.05 * max(smart_times)

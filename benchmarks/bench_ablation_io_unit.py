@@ -1,0 +1,17 @@
+"""Ablation A3: I/O-unit size vs pushdown performance."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_io_unit
+
+
+def test_ablation_io_unit(benchmark, emit):
+    result = emit(run_once(benchmark, ablation_io_unit))
+    elapsed = [row[2] for row in result.rows]
+    # Bigger units amortize per-command firmware overhead: elapsed time is
+    # monotone non-increasing in unit size.
+    assert all(b <= a + 1e-9 for a, b in zip(elapsed, elapsed[1:]))
+    # Going from 4-page to 32-page units (the paper's choice) is a big win.
+    four_page = next(row for row in result.rows if row[0] == 4)
+    paper_unit = next(row for row in result.rows if row[0] == 32)
+    assert four_page[2] / paper_unit[2] > 1.5

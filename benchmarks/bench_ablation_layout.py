@@ -1,0 +1,20 @@
+"""Ablation A1: the two mechanisms behind the in-device NSM/PAX gap."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_layout
+
+
+def test_ablation_layout(benchmark, emit):
+    result = emit(run_once(benchmark, ablation_layout))
+    by_layout = {row[0]: row for row in result.rows}
+    nsm, pax = by_layout["nsm"], by_layout["pax"]
+    # PAX is faster overall...
+    assert pax[1] < nsm[1]
+    # ...because it burns fewer device CPU cycles per page...
+    assert pax[2] < nsm[2]
+    # ...and moves fewer bytes across the shared DRAM bus (only the
+    # referenced minipages re-cross it).
+    assert pax[3] < nsm[3]
+    # Both remain CPU-bound for Q6 (the paper's saturation story).
+    assert nsm[5] == "cpu" and pax[5] == "cpu"

@@ -1,0 +1,20 @@
+"""Extension E4: pushdown vs host-populates-the-buffer-pool (§4.3)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ext_caching_benefit
+
+
+def test_ext_caching_benefit(benchmark, emit):
+    result = emit(run_once(benchmark, ext_caching_benefit))
+    # rows: [repetition, smart ms, host ms, smart cumulative, host cumulative]
+    smart_times = [row[1] for row in result.rows]
+    host_times = [row[2] for row in result.rows]
+    # Cold: pushdown wins the first round.
+    assert smart_times[0] < host_times[0]
+    # Warm: host repetitions run from cache and get dramatically faster...
+    assert host_times[1] < host_times[0] / 3
+    # ...while pushdown pays full price every time.
+    assert smart_times[-1] > 0.9 * smart_times[0]
+    # The cumulative crossover the paper's §4.3 argues for exists.
+    assert result.rows[-1][4] < result.rows[-1][3]

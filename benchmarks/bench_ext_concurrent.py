@@ -1,0 +1,17 @@
+"""Extension E3: concurrent pushdown sessions inside one device."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ext_concurrent_queries
+
+
+def test_ext_concurrent_queries(benchmark, emit):
+    result = emit(run_once(benchmark, ext_concurrent_queries))
+    # rows: [sessions, window, slowdown vs solo, vs perfect sharing]
+    slowdowns = [row[2] for row in result.rows]
+    # More sessions stretch the window monotonically...
+    assert all(b > a for a, b in zip(slowdowns, slowdowns[1:]))
+    # ...but the device shares efficiently: N concurrent scans finish
+    # faster than N sequential ones would (ratio to perfect sharing <= ~1).
+    for row in result.rows:
+        assert row[3] <= 1.05

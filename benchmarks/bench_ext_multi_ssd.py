@@ -1,0 +1,16 @@
+"""Extension E2: the multi-Smart-SSD 'parallel DBMS' endpoint."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ext_multi_ssd
+
+
+def test_ext_multi_ssd(benchmark, emit):
+    result = emit(run_once(benchmark, ext_multi_ssd))
+    scaling = [row[2] for row in result.rows]
+    revenues = {row[3] for row in result.rows}
+    # Partitioned execution returns the same answer at every width.
+    assert len(revenues) == 1
+    # Scaling is monotone and substantially parallel by 8 devices.
+    assert all(b > a for a, b in zip(scaling, scaling[1:]))
+    assert scaling[-1] >= 3.0

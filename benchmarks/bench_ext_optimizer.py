@@ -1,0 +1,20 @@
+"""Extension E1: cost-based pushdown decisions vs ground truth."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ext_optimizer
+
+
+def test_ext_optimizer(benchmark, emit):
+    result = emit(run_once(benchmark, ext_optimizer))
+    agreements = sum(1 for row in result.rows if row[1] == row[2])
+    # The optimizer must agree with the measured winner on nearly every
+    # point; only near-parity selectivities (where both placements cost the
+    # same) may flip.
+    assert agreements >= len(result.rows) - 1
+    # It must push down at the paper's showcase point (1%)...
+    assert result.rows[0][1] == "smart"
+    # ...and its sampled selectivity estimates track the true values.
+    for row in result.rows:
+        label = float(row[0].rstrip("%")) / 100.0
+        assert abs(row[3] - label) < 0.1

@@ -1,0 +1,20 @@
+"""Figure 1: host-interface vs SSD-internal bandwidth trend."""
+
+from conftest import run_once
+
+from repro.bench.figures import fig1_bandwidth_trends
+
+
+def test_fig1_bandwidth_trends(benchmark, emit):
+    result = emit(run_once(benchmark, fig1_bandwidth_trends))
+    gaps = [row[5] for row in result.rows]
+    internals = [row[4] for row in result.rows]
+    # Paper shape: internal bandwidth grows every year and the gap over the
+    # host interface approaches ~10x by the end of the projection.
+    assert all(b > a for a, b in zip(internals, internals[1:]))
+    assert gaps[-1] >= 8.0
+    assert gaps[-1] > gaps[0]
+    # 2012 row is the measured device of Table 2.
+    row_2012 = next(r for r in result.rows if r[0] == 2012)
+    assert row_2012[1] == 550.0
+    assert row_2012[2] == 1560.0

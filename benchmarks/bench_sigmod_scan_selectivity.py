@@ -1,0 +1,28 @@
+"""SIGMOD'13 single-table scan sweeps: selectivity x {rows, aggregation}."""
+
+from conftest import run_once
+
+from repro.bench.figures import sigmod_scan_selectivity
+
+
+def test_scan_returning_rows(benchmark, emit):
+    result = emit(run_once(benchmark, sigmod_scan_selectivity),
+                  filename="sigmod_scan_rows")
+    speedups = [row[3] for row in result.rows]
+    # Selective scans win; shipping everything back loses badly (the device
+    # pays to materialize and transfer whole tuples it just read).
+    assert speedups[0] > 1.3
+    assert all(b <= a + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] < 1.0
+
+
+def test_scan_with_aggregation(benchmark, emit):
+    result = emit(run_once(benchmark, sigmod_scan_selectivity,
+                           aggregate=True),
+                  filename="sigmod_scan_agg")
+    speedups = [row[3] for row in result.rows]
+    # Aggregation keeps the return channel tiny: the device wins at every
+    # selectivity.
+    assert all(s > 1.5 for s in speedups)
+    # Still gently declining (more qualifying rows = more device compute).
+    assert speedups[-1] <= speedups[0]

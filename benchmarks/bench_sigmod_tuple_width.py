@@ -1,0 +1,18 @@
+"""SIGMOD'13 tuple-width sweep: Smart SSD benefit vs tuples per page."""
+
+from conftest import run_once
+
+from repro.bench.figures import sigmod_tuple_width
+
+
+def test_tuple_width_sweep(benchmark, emit):
+    result = emit(run_once(benchmark, sigmod_tuple_width))
+    widths = [row[0] for row in result.rows]
+    tuples_per_page = [row[1] for row in result.rows]
+    speedups = [row[4] for row in result.rows]
+    # Wider tuples => fewer tuples per page.
+    assert all(b < a for a, b in zip(tuples_per_page, tuples_per_page[1:]))
+    # Fewer tuples per page => less device CPU per page => bigger benefit
+    # (the §4.2.1 mechanism: tuples/page drives the CPU saturation).
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 2.0

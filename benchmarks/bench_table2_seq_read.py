@@ -1,0 +1,17 @@
+"""Table 2: maximum sequential read bandwidth with 32-page I/Os."""
+
+from conftest import run_once
+
+from repro.bench.figures import table2_sequential_read
+
+
+def test_table2_sequential_read(benchmark, emit):
+    result = emit(run_once(benchmark, table2_sequential_read))
+    host_rate = result.rows[0][2]
+    internal_rate = result.rows[1][2]
+    speedup = result.rows[2][2]
+    # Measured rates should sit within 5% of the paper's 550 / 1,560 MB/s.
+    assert abs(host_rate - 550.0) / 550.0 < 0.05
+    assert abs(internal_rate - 1560.0) / 1560.0 < 0.05
+    # And the internal path is ~2.8x the external one.
+    assert 2.5 <= speedup <= 3.1

@@ -1,0 +1,26 @@
+"""Table 3: energy consumption for TPC-H Q6 across the four devices."""
+
+from conftest import run_once
+
+from repro.bench.figures import table3_energy
+
+
+def test_table3_energy(benchmark, emit):
+    result = emit(run_once(benchmark, table3_energy))
+    by_name = {row[0]: row for row in result.rows}
+    pax_system = by_name["smart-pax"][2]
+    pax_io = by_name["smart-pax"][3]
+    hdd_system = by_name["sas-hdd"][2]
+    hdd_io = by_name["sas-hdd"][3]
+    ssd_system = by_name["sas-ssd"][2]
+    ssd_io = by_name["sas-ssd"][3]
+    # Paper: HDD burns 11.6x more entire-system energy and ~14.3x more I/O
+    # subsystem energy than the Smart SSD with PAX.
+    assert 9.0 <= hdd_system / pax_system <= 14.0
+    assert 11.0 <= hdd_io / pax_io <= 18.0
+    # Paper: Smart SSD (PAX) is ~1.9x / ~1.4x better than the SAS SSD.
+    assert 1.4 <= ssd_system / pax_system <= 2.3
+    assert 1.2 <= ssd_io / pax_io <= 2.0
+    # Energy ordering mirrors the elapsed-time ordering.
+    assert (by_name["smart-pax"][2] < by_name["smart-nsm"][2]
+            < by_name["sas-ssd"][2] < by_name["sas-hdd"][2])

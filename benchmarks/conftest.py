@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench`, prints its
+paper-vs-measured table, saves it under ``results/``, and asserts the
+qualitative shape the paper reports.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = _ROOT / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print an ExperimentResult's table and persist it to results/."""
+
+    def _emit(result, filename=None):
+        table = result.table()
+        print("\n" + table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = filename or result.experiment.split(":")[0].lower().replace(
+            " ", "_").replace("'", "")
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        return result
+
+    return _emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

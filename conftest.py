@@ -1,0 +1,15 @@
+"""Ensure the in-tree package is importable even without installation.
+
+The offline execution environment lacks the ``wheel`` package, which breaks
+``pip install -e .`` (PEP 517 editable builds need bdist_wheel). Installation
+works via ``python setup.py develop``; this conftest additionally puts
+``src/`` on ``sys.path`` so the test and benchmark suites run from a plain
+checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

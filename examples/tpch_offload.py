@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""TPC-H offload: Q6 and Q14 on HDD / SSD / Smart SSD, at paper scale.
+
+Reproduces the headline experiments of "Query Processing on Smart SSDs"
+(SIGMOD 2013): the functional simulation runs at a reduced scale factor,
+then the analytic pipeline model extrapolates to SF-100 so the numbers are
+directly comparable with the paper's Figures 3 and 7.
+
+Run:  python examples/tpch_offload.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.extrapolate import extrapolate_run
+from repro.bench.runners import DeviceKind, make_tpch_db
+from repro.host.planner import explain
+from repro.storage import Layout
+from repro.workloads import q6_query, q14_query
+
+RUN_SCALE = 0.002       # 12,000 LINEITEM rows, simulated functionally
+PAPER_SCALE = 100.0     # extrapolate to the paper's SF-100
+
+
+def leg(device: DeviceKind, layout: Layout, query, placement: str):
+    db = make_tpch_db(device, layout, RUN_SCALE)
+    report = db.execute(query, placement=placement)
+    estimate = extrapolate_run(db, query, report, PAPER_SCALE / RUN_SCALE)
+    return db, report, estimate
+
+
+def show(query, legs) -> None:
+    print(f"--- {query.name} at SF-100 "
+          f"(paper testbed: 90 GB LINEITEM) ---")
+    base = None
+    for label, (db, report, estimate) in legs.items():
+        speedup = "" if base is None else f"  ({base / estimate.elapsed_seconds:.2f}x)"
+        if base is None:
+            base = estimate.elapsed_seconds
+        print(f"  {label:22s} {estimate.elapsed_seconds:8.1f} s  "
+              f"bottleneck={estimate.bottleneck:9s}"
+              f"  result={report.rows[0]}{speedup}")
+    print()
+
+
+def main() -> None:
+    for query in (q6_query(), q14_query()):
+        legs = {
+            "SAS HDD (host, NSM)": leg(DeviceKind.HDD, Layout.NSM, query,
+                                       "host"),
+            "SAS SSD (host, NSM)": leg(DeviceKind.SSD, Layout.NSM, query,
+                                       "host"),
+            "Smart SSD (NSM)": leg(DeviceKind.SMART, Layout.NSM, query,
+                                   "smart"),
+            "Smart SSD (PAX)": leg(DeviceKind.SMART, Layout.PAX, query,
+                                   "smart"),
+        }
+        # Speedups are conventionally quoted against the SAS SSD.
+        ssd = legs.pop("SAS HDD (host, NSM)")
+        ordered = {"SAS SSD (host, NSM)": legs.pop("SAS SSD (host, NSM)")}
+        ordered.update(legs)
+        ordered["SAS HDD (host, NSM)"] = ssd
+        show(query, ordered)
+
+    # The paper's Figure 6: the Q14 plan as run inside the device.
+    db = make_tpch_db(DeviceKind.SMART, Layout.PAX, RUN_SCALE)
+    print("Figure 6 — Q14 plan inside the Smart SSD:")
+    print(explain(db, q14_query(), placement="smart"))
+
+
+if __name__ == "__main__":
+    main()

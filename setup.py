@@ -1,0 +1,26 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``. Keeping a setup.py and
+omitting ``[build-system]`` from pyproject.toml lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Query Processing on Smart SSDs: Opportunities and "
+        "Challenges' (SIGMOD 2013): a functional Smart SSD + host DBMS "
+        "simulator"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["repro-bench=repro.cli:main"],
+    },
+)

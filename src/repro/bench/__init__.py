@@ -1,0 +1,31 @@
+"""Benchmark harness: one runner per paper table/figure.
+
+Each experiment in :mod:`repro.bench.figures` runs the full functional
+simulation at a reduced scale factor, extrapolates to the paper's scale
+with the analytic pipeline model (:mod:`repro.bench.extrapolate`), and
+returns rows that pair the paper's reported numbers
+(:mod:`repro.bench.paper`) with the reproduction's. ``benchmarks/`` wraps
+each experiment in a pytest-benchmark target that prints the comparison
+table and asserts the qualitative shape.
+"""
+
+from repro.bench.extrapolate import PaperScaleEstimate, extrapolate_run
+from repro.bench.formatting import format_table
+from repro.bench.runners import (
+    DeviceKind,
+    MeasuredRun,
+    make_synthetic_db,
+    make_tpch_db,
+    run_at_paper_scale,
+)
+
+__all__ = [
+    "DeviceKind",
+    "MeasuredRun",
+    "PaperScaleEstimate",
+    "extrapolate_run",
+    "format_table",
+    "make_synthetic_db",
+    "make_tpch_db",
+    "run_at_paper_scale",
+]

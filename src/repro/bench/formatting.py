@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an ASCII table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width)
+                         for value, width in zip(values, widths)).rstrip()
+
+    rule = "-" * max(len(title), sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(row) for row in cells)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

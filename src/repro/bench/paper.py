@@ -1,0 +1,44 @@
+"""The paper's reported numbers, used as comparison targets.
+
+Values come from the supplied text (IEEE Data Eng. Bulletin 2014 companion
+of the SIGMOD 2013 paper). Where the text gives only a ratio, the ratio is
+recorded; absolute seconds are never asserted against — the reproduction
+runs on a simulator, not the authors' testbed — only shapes and factors.
+"""
+
+#: Table 2 — maximum sequential read bandwidth with 32-page (256 KB) I/Os.
+TABLE2_SAS_SSD_MB_S = 550.0
+TABLE2_SMART_INTERNAL_MB_S = 1560.0
+TABLE2_INTERNAL_SPEEDUP = 2.8
+
+#: Figure 3 — TPC-H Q6 on LINEITEM SF-100.
+FIG3_Q6_PAX_SPEEDUP = 1.7     # Smart SSD (PAX) over SAS SSD
+FIG3_Q6_SELECTIVITY = 0.006   # "the selectivity factor (0.6%) of this query"
+FIG3_Q6_TUPLES_PER_PAGE = 51  # "five predicates, 51 tuples per data page"
+
+#: Figure 5 — selection-with-join on Synthetic64_R x Synthetic64_S.
+FIG5_JOIN_SPEEDUP_AT_1PCT = 2.2
+FIG5_SELECTIVITIES_PCT = (1, 10, 25, 50, 75, 100)
+
+#: Figure 7 — TPC-H Q14 on LINEITEM x PART, SF-100.
+FIG7_Q14_PAX_SPEEDUP = 1.3
+
+#: Table 3 — energy for TPC-H Q6 (ratios relative to Smart SSD PAX).
+TABLE3_IDLE_POWER_W = 235.0
+TABLE3_HDD_SYSTEM_ENERGY_RATIO = 11.6
+TABLE3_HDD_IO_ENERGY_RATIO = 14.3
+TABLE3_SSD_SYSTEM_ENERGY_RATIO = 1.9
+TABLE3_SSD_IO_ENERGY_RATIO = 1.4
+TABLE3_HDD_OVER_IDLE_RATIO = 12.4
+TABLE3_SSD_OVER_IDLE_RATIO = 2.3
+
+#: Figure 1 — bandwidth trend: the internal/interface gap approaches ~10x.
+FIG1_PROJECTED_GAP = 10.0
+FIG1_BASELINE_MB_S = 375.0
+
+#: Paper workload scales.
+TPCH_SCALE_FACTOR = 100.0
+LINEITEM_GB = 90.0
+PART_GB = 3.0
+SYNTHETIC_R_ROWS = 1_000_000
+SYNTHETIC_S_ROWS = 400_000_000

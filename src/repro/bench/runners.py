@@ -1,0 +1,112 @@
+"""Shared experiment plumbing: database builders and measured runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.extrapolate import PaperScaleEstimate, extrapolate_run
+from repro.engine.plans import Query
+from repro.flash.hdd import HddSpec
+from repro.flash.ssd import SsdSpec
+from repro.host.db import Database
+from repro.model.report import ExecutionReport
+from repro.smart.device import SmartSsdSpec
+from repro.storage import Layout
+from repro.workloads import (
+    generate_lineitem,
+    generate_part,
+    generate_synthetic64_r,
+    generate_synthetic64_s,
+    lineitem_schema,
+    part_schema,
+    synthetic64_r_schema,
+    synthetic64_s_schema,
+)
+
+#: Default run scale for TPC-H experiments (12,000 LINEITEM rows — large
+#: enough for stable counter averages, small enough to simulate in ~1 s).
+TPCH_RUN_SCALE = 0.002
+
+#: Default run scale for Synthetic64 experiments, relative to the paper's
+#: 400M-row S table.
+SYNTHETIC_RUN_SCALE = 0.0001
+
+
+class DeviceKind(enum.Enum):
+    """Which device configuration an experiment leg runs on."""
+
+    HDD = "sas-hdd"
+    SSD = "sas-ssd"
+    SMART = "smart-ssd"
+
+
+@dataclass
+class MeasuredRun:
+    """One experiment leg: the functional run plus its extrapolation."""
+
+    label: str
+    device: DeviceKind
+    placement: str
+    layout: Layout
+    report: ExecutionReport
+    paper_scale: PaperScaleEstimate
+
+    @property
+    def elapsed_at_paper_scale(self) -> float:
+        """Extrapolated elapsed seconds at the paper's data size."""
+        return self.paper_scale.elapsed_seconds
+
+
+def make_tpch_db(device: DeviceKind, layout: Layout,
+                 scale: float = TPCH_RUN_SCALE) -> Database:
+    """A fresh world with LINEITEM and PART loaded on the chosen device."""
+    db = Database()
+    name = _attach(db, device)
+    db.create_table("lineitem", lineitem_schema(), layout,
+                    generate_lineitem(scale), name)
+    db.create_table("part", part_schema(), layout, generate_part(scale), name)
+    return db
+
+
+def make_synthetic_db(device: DeviceKind, layout: Layout,
+                      scale: float = SYNTHETIC_RUN_SCALE) -> Database:
+    """A fresh world with the Synthetic64 pair loaded (R scaled to match S).
+
+    The paper's R:S size ratio (1M : 400M rows) is preserved.
+    """
+    db = Database()
+    name = _attach(db, device)
+    # R scales with the same factor as S, floored so the FK join always has
+    # a few hundred distinct build keys even at tiny run scales.
+    r_rows = generate_synthetic64_r(max(scale, 5e-4))
+    s_rows = generate_synthetic64_s(scale, len(r_rows))
+    db.create_table("synthetic64_r", synthetic64_r_schema(), layout,
+                    r_rows, name)
+    db.create_table("synthetic64_s", synthetic64_s_schema(), layout,
+                    s_rows, name)
+    return db
+
+
+def run_at_paper_scale(db: Database, query: Query, placement: str,
+                       run_scale: float, paper_scale: float,
+                       label: str = "", device: DeviceKind = DeviceKind.SMART,
+                       layout: Layout = Layout.PAX) -> MeasuredRun:
+    """Execute functionally at ``run_scale``, extrapolate to ``paper_scale``."""
+    report = db.execute(query, placement=placement)
+    estimate = extrapolate_run(db, query, report,
+                               factor=paper_scale / run_scale)
+    return MeasuredRun(label=label or query.name, device=device,
+                       placement=placement, layout=layout, report=report,
+                       paper_scale=estimate)
+
+
+def _attach(db: Database, device: DeviceKind) -> str:
+    if device is DeviceKind.HDD:
+        db.create_hdd(HddSpec())
+    elif device is DeviceKind.SSD:
+        db.create_ssd(SsdSpec())
+    else:
+        db.create_smart_ssd(SmartSsdSpec())
+    return device.value

@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig3 table3      # run selected experiments
+    python -m repro run all              # run everything
+    python -m repro run fig5 -o results  # also persist tables to a directory
+
+Experiments run the functional simulation at reduced scale and print
+paper-vs-measured tables (see EXPERIMENTS.md for interpretation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.ablations import (
+    ablation_device_hardware,
+    ablation_interface_generation,
+    ablation_ftl_wear,
+    ablation_io_unit,
+    ablation_layout,
+    ext_caching_benefit,
+    ext_concurrent_queries,
+    ext_multi_ssd,
+    ext_optimizer,
+)
+from repro.bench.figures import (
+    ExperimentResult,
+    fig1_bandwidth_trends,
+    fig3_q6,
+    fig5_join_selectivity,
+    fig7_q14,
+    sigmod_scan_selectivity,
+    sigmod_tuple_width,
+    table2_sequential_read,
+    table3_energy,
+)
+
+#: Registry: short name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
+    "fig1": ("bandwidth trends (host interface vs SSD-internal)",
+             fig1_bandwidth_trends),
+    "table2": ("max sequential read bandwidth, 32-page I/Os",
+               table2_sequential_read),
+    "fig3": ("TPC-H Q6 elapsed time, SF-100", fig3_q6),
+    "fig5": ("selection-with-join vs selectivity", fig5_join_selectivity),
+    "fig7": ("TPC-H Q14 elapsed time, SF-100", fig7_q14),
+    "table3": ("energy consumption for Q6", table3_energy),
+    "scan-rows": ("SIGMOD'13 scan sweep, returning rows",
+                  sigmod_scan_selectivity),
+    "scan-agg": ("SIGMOD'13 scan sweep, with aggregation",
+                 lambda: sigmod_scan_selectivity(aggregate=True)),
+    "tuple-width": ("SIGMOD'13 tuple-width sweep", sigmod_tuple_width),
+    "a1": ("ablation: NSM vs PAX inside the device", ablation_layout),
+    "a2": ("ablation: device cores x DRAM-bus rate",
+           ablation_device_hardware),
+    "a3": ("ablation: I/O unit size", ablation_io_unit),
+    "a4": ("ablation: FTL write amplification vs over-provisioning",
+           ablation_ftl_wear),
+    "a5": ("ablation: pushdown benefit vs host-interface generation",
+           ablation_interface_generation),
+    "e1": ("extension: cost-based pushdown optimizer", ext_optimizer),
+    "e2": ("extension: multi-Smart-SSD array", ext_multi_ssd),
+    "e3": ("extension: concurrent pushdown sessions",
+           ext_concurrent_queries),
+    "e4": ("extension: caching benefit of host execution",
+           ext_caching_benefit),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Query Processing on Smart SSDs' "
+                    "(SIGMOD 2013): tables, figures, ablations.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument("names", nargs="+",
+                     help="experiment names (or 'all')")
+    run.add_argument("-o", "--output-dir", type=Path, default=None,
+                     help="also write each table to this directory")
+    run.add_argument("--json", action="store_true",
+                     help="emit JSON instead of tables (and .json files "
+                          "with --output-dir)")
+    return parser
+
+
+def cmd_list(out=sys.stdout) -> int:
+    """Print the experiment registry."""
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, __) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}", file=out)
+    return 0
+
+
+def cmd_run(names: list[str], output_dir: Path | None,
+            as_json: bool = False, out=sys.stdout) -> int:
+    """Run the named experiments, printing (and optionally saving) tables."""
+    import json
+
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(try 'python -m repro list')", file=sys.stderr)
+        return 2
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        __, runner = EXPERIMENTS[name]
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        if as_json:
+            payload = result.to_dict()
+            payload["runtime_seconds"] = round(elapsed, 2)
+            print(json.dumps(payload, indent=2), file=out)
+        else:
+            print(result.table(), file=out)
+            print(f"[{name}: ran in {elapsed:.1f}s]\n", file=out)
+        if output_dir is not None:
+            if as_json:
+                (output_dir / f"{name}.json").write_text(
+                    json.dumps(result.to_dict(), indent=2) + "\n")
+            else:
+                (output_dir / f"{name}.txt").write_text(
+                    result.table() + "\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.names, args.output_dir, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

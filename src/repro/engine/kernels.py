@@ -1,0 +1,394 @@
+"""Per-page execution kernels shared by host and device placement.
+
+The unit of execution is one page: decode the needed columns, apply the
+predicate, optionally probe the join hash table, then project rows or fold
+aggregates. :class:`PageKernel.process_page` does that functionally on real
+page bytes while counting every priced operation; the caller (host executor
+or Smart SSD program) charges the counters to the right CPU and moves the
+right bytes over the right links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.engine.expressions import EvalContext
+from repro.engine.plans import AggSpec, JoinSpec, Query
+from repro.model.counters import WorkCounters
+from repro.storage.layout import Layout, decode_columns, touched_bytes
+from repro.storage.page import PageHeader
+from repro.storage.schema import Schema
+
+#: Estimated per-entry bookkeeping bytes of a hash table (bucket pointers,
+#: entry headers) — used for memory grants and cache-residency decisions.
+HASH_ENTRY_OVERHEAD = 24
+
+
+class HashTable:
+    """An in-memory join table: unique keys mapping to payload columns.
+
+    Implemented as sorted keys + aligned payload arrays; probes are binary
+    searches, which is deterministic and vectorizes, while the *cost model*
+    still prices each probe as a hash lookup.
+    """
+
+    def __init__(self, keys: np.ndarray, payload: dict[str, np.ndarray]):
+        order = np.argsort(keys, kind="stable")
+        self.keys = np.ascontiguousarray(keys[order])
+        if len(np.unique(self.keys)) != len(self.keys):
+            raise PlanError("hash-join build keys must be unique")
+        self.payload = {name: np.ascontiguousarray(values[order])
+                        for name, values in payload.items()}
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident size (entries + payload + overhead)."""
+        payload_nbytes = sum(v.nbytes for v in self.payload.values())
+        return (self.keys.nbytes + payload_nbytes
+                + HASH_ENTRY_OVERHEAD * len(self.keys))
+
+    def probe(self, probe_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Look up ``probe_keys``; returns (match_mask, build_indices).
+
+        ``build_indices`` is only meaningful where ``match_mask`` is True.
+        """
+        if len(self.keys) == 0:
+            return (np.zeros(len(probe_keys), dtype=bool),
+                    np.zeros(len(probe_keys), dtype=np.int64))
+        positions = np.searchsorted(self.keys, probe_keys)
+        positions = np.clip(positions, 0, len(self.keys) - 1)
+        match = self.keys[positions] == probe_keys
+        return match, positions
+
+
+class BuildCollector:
+    """Streaming accumulator for the join build side.
+
+    Build pages arrive one I/O unit at a time (the device cannot buffer a
+    multi-GB dimension table); :meth:`consume` decodes and counts each batch,
+    :meth:`finish` assembles the final :class:`HashTable`.
+    """
+
+    def __init__(self, schema: Schema, spec: JoinSpec):
+        self.schema = schema
+        self.spec = spec
+        self._key_chunks: list[np.ndarray] = []
+        self._payload_chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in spec.payload}
+        self.needed = [spec.build_key, *spec.payload]
+        if spec.build_predicate is not None:
+            for name in sorted(spec.build_predicate.columns()):
+                if name not in self.needed:
+                    self.needed.append(name)
+
+    def consume(self, pages: Sequence[bytes], counters: WorkCounters,
+                layout: Layout) -> int:
+        """Decode a batch of build pages; returns page bytes the CPU touched."""
+        touched = 0
+        for page in pages:
+            header = PageHeader.decode(page)
+            n = header.tuple_count
+            counters.pages_parsed += 1
+            if layout is Layout.NSM:
+                counters.nsm_tuples_parsed += n
+            touched += touched_bytes(layout, self.schema, self.needed, n)
+            columns = decode_columns(self.schema, page, self.needed)
+            ctx = EvalContext(columns, n, counters, layout)
+            if self.spec.build_predicate is not None:
+                mask = self.spec.build_predicate.evaluate(ctx, n)
+                keep = np.nonzero(mask)[0]
+            else:
+                keep = np.arange(n)
+            # Key + payload extraction for every inserted row.
+            ctx.charge_extract(len(keep) * len(self.needed))
+            counters.hash_builds += len(keep)
+            self._key_chunks.append(columns[self.spec.build_key][keep])
+            for name in self.spec.payload:
+                self._payload_chunks[name].append(columns[name][keep])
+        return touched
+
+    def finish(self) -> HashTable:
+        """Assemble the hash table from everything consumed."""
+        if self._key_chunks:
+            keys = np.concatenate(self._key_chunks)
+            payload = {name: np.concatenate(chunks)
+                       for name, chunks in self._payload_chunks.items()}
+        else:
+            keys = np.empty(0, dtype=np.int64)
+            payload = {name: np.empty(0) for name in self.spec.payload}
+        return HashTable(keys, payload)
+
+
+def build_hash_table(schema: Schema, pages: Sequence[bytes], spec: JoinSpec,
+                     counters: WorkCounters, layout: Layout) -> HashTable:
+    """Decode build-side pages and construct the join table, counting work."""
+    collector = BuildCollector(schema, spec)
+    collector.consume(pages, counters, layout)
+    return collector.finish()
+
+
+def top_n_indexes(values: np.ndarray, n: int,
+                  descending: bool) -> np.ndarray:
+    """Indexes of the top-``n`` values, returned in original row order.
+
+    Stable for ascending order; both placements (and the final merge) use
+    this same helper, so results are deterministic and placement-agnostic.
+    """
+    order = np.argsort(values, kind="stable")
+    if descending:
+        order = order[::-1]
+    return np.sort(order[:n])
+
+
+def distinct_indexes(columns: dict[str, np.ndarray],
+                     names: Sequence[str]) -> np.ndarray:
+    """Indexes of the first occurrence of each distinct row, in row order.
+
+    Shared by the page kernels (page-local dedupe), the merge step, and
+    the reference executor, so DISTINCT results are identical everywhere.
+    """
+    n = len(next(iter(columns.values()))) if columns else 0
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if len(names) == 1:
+        keys = columns[names[0]]
+    else:
+        key_dtype = np.dtype([(name, columns[name].dtype)
+                              for name in names])
+        keys = np.empty(n, dtype=key_dtype)
+        for name in names:
+            keys[name] = columns[name]
+    __, first = np.unique(keys, return_index=True)
+    return np.sort(first)
+
+
+def order_and_limit_indexes(values: np.ndarray, limit: Optional[int],
+                            descending: bool) -> np.ndarray:
+    """Final presentation order: sorted by value, truncated to ``limit``.
+
+    Shared by the executor's merge step and the reference executor so the
+    row order (including tie handling) is identical everywhere.
+    """
+    if limit is not None:
+        keep = top_n_indexes(values, limit, descending)
+        order = np.argsort(values[keep], kind="stable")
+        if descending:
+            order = order[::-1]
+        return keep[order]
+    order = np.argsort(values, kind="stable")
+    if descending:
+        order = order[::-1]
+    return order
+
+
+@dataclass
+class AggState:
+    """Mergeable partial state of the aggregate set."""
+
+    values: dict[str, Any] = field(default_factory=dict)
+    groups: dict[Any, dict[str, Any]] = field(default_factory=dict)
+
+    def merge(self, other: "AggState", aggs: Sequence[AggSpec]) -> None:
+        """Fold another partial into this one."""
+        for agg in aggs:
+            self.values[agg.name] = _merge_scalar(
+                agg.kind, self.values.get(agg.name),
+                other.values.get(agg.name))
+        for group, partial in other.groups.items():
+            mine = self.groups.setdefault(group, {})
+            for agg in aggs:
+                mine[agg.name] = _merge_scalar(
+                    agg.kind, mine.get(agg.name), partial.get(agg.name))
+
+
+def _merge_scalar(kind: str, a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if kind in ("sum", "count"):
+        return a + b
+    if kind == "min":
+        return min(a, b)
+    return max(a, b)
+
+
+@dataclass
+class PagePartial:
+    """Output of one page's worth of kernel work."""
+
+    row_count: int
+    columns: Optional[dict[str, np.ndarray]] = None  # select queries
+    agg: Optional[AggState] = None                   # aggregate queries
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    touched_nbytes: int = 0  # page bytes the CPU actually read
+
+
+class PageKernel:
+    """Compiled per-page execution for one :class:`Query`."""
+
+    def __init__(self, query: Query, schema: Schema, layout: Layout,
+                 hash_table: Optional[HashTable] = None):
+        if query.join is not None and hash_table is None:
+            raise PlanError("join query needs a built hash table")
+        self.query = query
+        self.schema = schema
+        self.layout = layout
+        self.hash_table = hash_table
+        self.needed_columns = query.probe_side_columns()
+        for name in self.needed_columns:
+            schema.column_index(name)  # validate early
+
+    def process_page(self, page: bytes) -> PagePartial:
+        """Run the kernel over one page of real bytes."""
+        counters = WorkCounters()
+        header = PageHeader.decode(page)
+        n = header.tuple_count
+        counters.pages_parsed += 1
+        if self.layout is Layout.NSM:
+            counters.nsm_tuples_parsed += n
+        columns = decode_columns(self.schema, page, self.needed_columns)
+        touched = touched_bytes(self.layout, self.schema,
+                                self.needed_columns, n)
+        ctx = EvalContext(columns, n, counters, self.layout)
+
+        # 1. Selection.
+        if self.query.predicate is not None:
+            mask = self.query.predicate.evaluate(ctx, n)
+            survivors = np.nonzero(mask)[0]
+        else:
+            survivors = np.arange(n)
+
+        filtered = {name: values[survivors]
+                    for name, values in columns.items()}
+        k = len(survivors)
+
+        # 2. Hash-join probe.
+        if self.query.join is not None:
+            probe_keys = filtered[self.query.join.probe_key]
+            ctx.charge_extract(k)
+            counters.hash_probes += k
+            match, positions = self.hash_table.probe(probe_keys)
+            matched = np.nonzero(match)[0]
+            filtered = {name: values[matched]
+                        for name, values in filtered.items()}
+            build_rows = positions[matched]
+            for name in self.query.join.payload:
+                filtered[name] = self.hash_table.payload[name][build_rows]
+            k = len(matched)
+
+        # 2b. Post-join predicate (spans probe columns + build payload).
+        if self.query.post_predicate is not None:
+            post_ctx = EvalContext(filtered, k, counters, self.layout)
+            post_mask = self.query.post_predicate.evaluate(post_ctx, k)
+            keep = np.nonzero(post_mask)[0]
+            filtered = {name: values[keep]
+                        for name, values in filtered.items()}
+            k = len(keep)
+
+        out_ctx = EvalContext(filtered, k, counters, self.layout)
+
+        # 3a. Projection (with optional page-local top-N truncation).
+        if self.query.select:
+            out_columns = {}
+            for name, expr in self.query.select:
+                values = np.asarray(expr.evaluate(out_ctx, k))
+                if values.ndim == 0:
+                    values = np.full(k, values)
+                out_columns[name] = values
+            if self.query.distinct and k > 0:
+                counters.distinct_candidates += k
+                keep = distinct_indexes(out_columns,
+                                        self.query.output_names())
+                out_columns = {name: values[keep]
+                               for name, values in out_columns.items()}
+                k = len(keep)
+            if self.query.limit is not None and k > 0:
+                counters.topn_candidates += k
+                keep = top_n_indexes(out_columns[self.query.order_by],
+                                     self.query.limit,
+                                     self.query.descending)
+                out_columns = {name: values[keep]
+                               for name, values in out_columns.items()}
+                k = len(keep)
+            counters.output_values += k * len(self.query.select)
+            return PagePartial(row_count=k, columns=out_columns,
+                               counters=counters, touched_nbytes=touched)
+
+        # 3b. Aggregation.
+        state = AggState()
+        if self.query.group_by is None:
+            for agg in self.query.aggregates:
+                state.values[agg.name] = self._scalar_partial(
+                    agg, out_ctx, k, counters)
+        else:
+            self._grouped_partials(state, out_ctx, k, counters)
+        return PagePartial(row_count=k, agg=state, counters=counters,
+                           touched_nbytes=touched)
+
+    # -- aggregation helpers ---------------------------------------------------
+
+    def _scalar_partial(self, agg: AggSpec, ctx: EvalContext, k: int,
+                        counters: WorkCounters) -> Any:
+        counters.aggregate_updates += k
+        if agg.kind == "count":
+            return k
+        values = np.asarray(agg.expr.evaluate(ctx, k))
+        if values.ndim == 0:
+            values = np.full(k, values)
+        if k == 0:
+            return 0 if agg.kind == "sum" else None
+        if agg.kind == "sum":
+            acc = values.astype(np.float64) if values.dtype.kind == "f" \
+                else values.astype(np.int64)
+            return acc.sum().item()
+        if agg.kind == "min":
+            return values.min().item()
+        return values.max().item()
+
+    def _grouped_partials(self, state: AggState, ctx: EvalContext, k: int,
+                          counters: WorkCounters) -> None:
+        if k == 0:
+            return
+        names = self.query.group_by_columns
+        ctx.charge_extract(k * len(names))
+        if len(names) == 1:
+            groups, inverse = np.unique(ctx.columns[names[0]],
+                                        return_inverse=True)
+            group_list = groups.tolist()
+        else:
+            key_dtype = np.dtype([(name, ctx.columns[name].dtype)
+                                  for name in names])
+            keys = np.empty(k, dtype=key_dtype)
+            for name in names:
+                keys[name] = ctx.columns[name]
+            groups, inverse = np.unique(keys, return_inverse=True)
+            group_list = [tuple(g) for g in groups.tolist()]
+        for agg in self.query.aggregates:
+            counters.aggregate_updates += k
+            if agg.kind == "count":
+                partials = np.bincount(inverse, minlength=len(groups))
+            elif agg.kind == "sum":
+                values = np.asarray(agg.expr.evaluate(ctx, k))
+                weights = values.astype(np.float64)
+                partials = np.bincount(inverse, weights=weights,
+                                       minlength=len(groups))
+                if values.dtype.kind in "iu":
+                    partials = partials.astype(np.int64)
+            else:
+                values = np.asarray(agg.expr.evaluate(ctx, k))
+                reducer = np.minimum if agg.kind == "min" else np.maximum
+                fill = values.max() if agg.kind == "min" else values.min()
+                partials = np.full(len(groups), fill, dtype=values.dtype)
+                reducer.at(partials, inverse, values)
+            for group, partial in zip(group_list, partials.tolist()):
+                state.groups.setdefault(group, {})[agg.name] = _merge_scalar(
+                    agg.kind, state.groups.get(group, {}).get(agg.name),
+                    partial)

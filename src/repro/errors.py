@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every exception the library raises deliberately derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still being able to distinguish storage, device, protocol, and query
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class StorageError(ReproError):
+    """Page/layout level failure (overflow, corrupt page, bad slot...)."""
+
+
+class PageFullError(StorageError):
+    """A tuple did not fit into the page being built."""
+
+
+class DeviceError(ReproError):
+    """SSD/HDD device-level failure (bad LBA, out of capacity...)."""
+
+
+class FlashError(DeviceError):
+    """NAND-level failure (program to non-erased page, bad address...)."""
+
+
+class ProtocolError(ReproError):
+    """Smart SSD session protocol violation (bad session id, bad state)."""
+
+
+class DeviceResourceError(ProtocolError):
+    """The Smart SSD runtime could not grant the resources a session needs."""
+
+
+class CatalogError(ReproError):
+    """Unknown table/column or conflicting definition."""
+
+
+class PlanError(ReproError):
+    """The planner could not build a plan for the requested query."""
+
+
+class ExpressionError(ReproError):
+    """Expression tree evaluation/validation failure."""

@@ -1,0 +1,58 @@
+"""Device DRAM: capacity accounting for the in-SSD runtime.
+
+The Smart SSD runtime grants session memory (hash tables, result buffers)
+out of the device DRAM left over after the FTL map and page buffers. The
+model tracks allocations so a session that asks for more than the device has
+fails with :class:`~repro.errors.DeviceResourceError` — the paper's "hash
+table for the R table fits in memory" precondition becomes checkable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceResourceError
+from repro.units import MIB
+
+
+class DeviceDram:
+    """Byte-accurate allocation bookkeeping for device DRAM."""
+
+    def __init__(self, capacity_nbytes: int, reserved_nbytes: int = 64 * MIB):
+        """``reserved_nbytes`` models firmware/FTL/page-buffer overhead."""
+        if capacity_nbytes <= reserved_nbytes:
+            raise DeviceResourceError(
+                f"DRAM of {capacity_nbytes} bytes cannot cover the "
+                f"{reserved_nbytes}-byte firmware reservation")
+        self.capacity_nbytes = capacity_nbytes
+        self.reserved_nbytes = reserved_nbytes
+        self._allocations: dict[int, int] = {}
+        self._next_handle = 1
+
+    @property
+    def available_nbytes(self) -> int:
+        """Bytes still grantable to sessions."""
+        used = sum(self._allocations.values())
+        return self.capacity_nbytes - self.reserved_nbytes - used
+
+    @property
+    def allocated_nbytes(self) -> int:
+        """Bytes currently granted to sessions."""
+        return sum(self._allocations.values())
+
+    def allocate(self, nbytes: int) -> int:
+        """Grant ``nbytes``; returns a handle for :meth:`free`."""
+        if nbytes < 0:
+            raise DeviceResourceError(f"negative allocation {nbytes}")
+        if nbytes > self.available_nbytes:
+            raise DeviceResourceError(
+                f"device DRAM exhausted: want {nbytes}, "
+                f"have {self.available_nbytes}")
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = nbytes
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a previous grant."""
+        if handle not in self._allocations:
+            raise DeviceResourceError(f"unknown DRAM handle {handle}")
+        del self._allocations[handle]

@@ -1,0 +1,291 @@
+"""Page-mapping Flash Translation Layer.
+
+The FTL maps Logical Page Numbers (the host's view; one logical page is one
+8 KiB DBMS page) to Physical Page Numbers in the NAND array. Key behaviours:
+
+* **Channel striping** — consecutive writes rotate round-robin across every
+  die of every channel, so a sequentially-written extent is read back with
+  all channels working in parallel. This is the chip-level and channel-level
+  interleaving §2 of the paper describes.
+* **Out-of-place updates** — rewriting an LPN invalidates the old flash page
+  and programs a fresh one.
+* **Greedy garbage collection with a per-die spare block** — when a die
+  runs low on free pages, the block with the fewest valid pages is
+  collected: its live pages are relocated (into normal free slots, or into
+  the die's dedicated spare block under emergency pressure) and the block
+  erased. The spare guarantees that *any* victim is collectible, so the
+  die can always compact as long as it holds invalid pages.
+* **Pressure steering** — live data drifts between dies under random
+  overwrites (an overwrite invalidates the old copy's die but programs the
+  round-robin target die), so writes shed from squeezed dies to the die
+  with the most reclaimable space.
+
+Stats expose host writes vs. GC relocations, giving a write-amplification
+factor the tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError, FlashError
+from repro.flash.geometry import NandGeometry
+from repro.flash.nand import NandArray, PageState
+
+#: Fraction of raw capacity reserved as over-provisioning.
+DEFAULT_OVERPROVISION = 0.08
+
+#: GC maintenance keeps at least this many blocks' worth of free pages per
+#: die (beyond the dedicated spare block).
+GC_HEADROOM_BLOCKS = 2
+
+
+@dataclass
+class FtlStats:
+    """Write/GC accounting."""
+
+    host_writes: int = 0
+    gc_relocations: int = 0
+    erases: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC writes) / host writes; 1.0 when GC never ran."""
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.gc_relocations) / self.host_writes
+
+
+@dataclass
+class _Die:
+    """Per-die allocation state."""
+
+    channel: int
+    chip: int
+    free_blocks: list[int] = field(default_factory=list)
+    active_block: int = -1
+    next_page: int = 0
+    spare_block: int = -1   # always-erased GC relocation reserve
+    invalid_pages: int = 0  # reclaimable pages on this die
+
+
+class PageMappedFtl:
+    """LPN -> PPN mapping with striped allocation and greedy GC."""
+
+    def __init__(self, geometry: NandGeometry, nand: NandArray,
+                 overprovision: float = DEFAULT_OVERPROVISION):
+        if not 0.0 <= overprovision < 0.5:
+            raise DeviceError(f"unreasonable overprovision {overprovision}")
+        if geometry.blocks_per_chip < GC_HEADROOM_BLOCKS + 2:
+            raise DeviceError("geometry too small for the GC reserve")
+        self.geometry = geometry
+        self.nand = nand
+        self.stats = FtlStats()
+        self._map: dict[int, int] = {}
+        self._valid_count: dict[tuple[int, int, int], int] = {}
+        self._dies: list[_Die] = []
+        self._die_of: dict[tuple[int, int], _Die] = {}
+        # Channel-minor order: consecutive writes land on consecutive
+        # *channels* (then rotate chips), so even short sequential runs
+        # read back with full channel-level parallelism (§2).
+        for chip in range(geometry.chips_per_channel):
+            for channel in range(geometry.channels):
+                die = _Die(channel, chip,
+                           free_blocks=list(range(geometry.blocks_per_chip)))
+                die.spare_block = die.free_blocks.pop()
+                self._dies.append(die)
+                self._die_of[(channel, chip)] = die
+        self._next_die = 0
+        self._gc_victims: set[tuple[int, int, int]] = set()
+        # Exported capacity: the requested over-provisioning, floored by a
+        # hard per-die reserve (the spare block plus GC headroom plus one
+        # block of slack).
+        per_die_reserve = (GC_HEADROOM_BLOCKS + 2) * geometry.pages_per_block
+        reserve_pages = max(
+            int(geometry.total_pages * overprovision),
+            geometry.dies * per_die_reserve)
+        if reserve_pages >= geometry.total_pages:
+            raise DeviceError("geometry too small for the GC reserve")
+        self.logical_capacity_pages = geometry.total_pages - reserve_pages
+
+    # -- host-facing operations --------------------------------------------
+
+    def lookup(self, lpn: int) -> int:
+        """PPN currently holding ``lpn``; raises if unmapped."""
+        try:
+            return self._map[lpn]
+        except KeyError:
+            raise DeviceError(f"LPN {lpn} is not mapped") from None
+
+    def is_mapped(self, lpn: int) -> bool:
+        """True when ``lpn`` currently holds data."""
+        return lpn in self._map
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of live logical pages."""
+        return len(self._map)
+
+    def read(self, lpn: int) -> bytes:
+        """Read the bytes stored at a logical page."""
+        return self.nand.read(self.lookup(lpn))
+
+    def write(self, lpn: int, data: bytes) -> int:
+        """Write a logical page out-of-place; returns the new PPN."""
+        self._check_lpn(lpn)
+        if (lpn not in self._map
+                and self.mapped_pages >= self.logical_capacity_pages):
+            raise DeviceError("device is at logical capacity")
+        old = self._map.get(lpn)
+        if old is not None:
+            self._invalidate_ppn(old)
+        die = self._choose_die()
+        # Maintain headroom *before* programming, so GC never encounters a
+        # programmed page without a logical owner.
+        self._maybe_collect(die)
+        ppn = self._program_on_die(die, data)
+        self.stats.host_writes += 1
+        self._map[lpn] = ppn
+        return ppn
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (TRIM); no-op if unmapped."""
+        old = self._map.pop(lpn, None)
+        if old is not None:
+            self._invalidate_ppn(old)
+
+    # -- allocation & garbage collection ------------------------------------
+
+    def _choose_die(self) -> _Die:
+        die = self._dies[self._next_die]
+        self._next_die = (self._next_die + 1) % len(self._dies)
+        if self._die_free_pages(die) > 2 * self.geometry.pages_per_block:
+            return die
+        # The round-robin target is squeezed: shed to the die with the most
+        # immediately-free space, breaking ties toward reclaimable space so
+        # GC can make room.
+        return max(self._dies,
+                   key=lambda d: (self._die_free_pages(d), d.invalid_pages))
+
+    def _die_free_pages(self, die: _Die) -> int:
+        free = len(die.free_blocks) * self.geometry.pages_per_block
+        if die.active_block >= 0:
+            free += self.geometry.pages_per_block - die.next_page
+        return free
+
+    def _program_on_die(self, die: _Die, data: bytes) -> int:
+        ppn = self._take_slot(die)
+        self.nand.program(ppn, data)
+        block_key = (die.channel, die.chip,
+                     self.geometry.unflatten(ppn)[2])
+        self._valid_count[block_key] = self._valid_count.get(block_key, 0) + 1
+        return ppn
+
+    def _take_slot(self, die: _Die) -> int:
+        if (die.active_block < 0
+                or die.next_page >= self.geometry.pages_per_block):
+            if not die.free_blocks:
+                self._collect(die)
+            if not die.free_blocks:
+                raise DeviceError(
+                    f"die ({die.channel},{die.chip}) has no free blocks")
+            die.active_block = die.free_blocks.pop(0)
+            die.next_page = 0
+        ppn = self.geometry.ppn(die.channel, die.chip, die.active_block,
+                                die.next_page)
+        die.next_page += 1
+        return ppn
+
+    def _maybe_collect(self, die: _Die) -> None:
+        """Compact until the die has GC headroom (or nothing to reclaim)."""
+        target = GC_HEADROOM_BLOCKS * self.geometry.pages_per_block
+        while self._die_free_pages(die) < target:
+            if not self._collect(die):
+                break
+
+    def _collect(self, die: _Die) -> bool:
+        """GC one block on ``die``; returns False when nothing is gained.
+
+        The die's dedicated spare block makes every victim collectible:
+        when normal free slots cannot hold the victim's live pages, the
+        spare becomes the active block (its erased pages are the relocation
+        destination) and the erased victim becomes the new spare.
+        """
+        victim = self._pick_victim(die)
+        if victim is None:
+            return False
+        channel, chip, block = victim
+        self._gc_victims.add(victim)
+        try:
+            first = self.geometry.ppn(channel, chip, block, 0)
+            states = [self.nand.state(ppn)
+                      for ppn in range(first,
+                                       first + self.geometry.pages_per_block)]
+            live_ppns = [first + offset for offset, state in enumerate(states)
+                         if state is PageState.PROGRAMMED]
+            invalid_in_block = sum(state is PageState.INVALID
+                                   for state in states)
+            used_spare = False
+            if live_ppns and self._die_free_pages(die) < len(live_ppns):
+                # Emergency: rotate the spare in as the active block. The
+                # retired active block's unwritten tail is recovered when
+                # that block is eventually erased.
+                die.active_block = die.spare_block
+                die.next_page = 0
+                die.spare_block = -1
+                used_spare = True
+            if live_ppns:
+                reverse = {ppn: lpn for lpn, ppn in self._map.items()}
+                for ppn in live_ppns:
+                    lpn = reverse.get(ppn)
+                    if lpn is None:
+                        raise FlashError(f"orphan programmed page {ppn}")
+                    data = self.nand.read(ppn)
+                    self._invalidate_ppn(ppn)
+                    new_ppn = self._program_on_die(die, data)
+                    self.stats.gc_relocations += 1
+                    self._map[lpn] = new_ppn
+            self.nand.erase_block(channel, chip, block)
+            # The erase reclaims the block's pre-GC invalid pages plus the
+            # ones relocation just created.
+            die.invalid_pages -= invalid_in_block + len(live_ppns)
+            self._valid_count.pop(victim, None)
+            if used_spare or die.spare_block < 0:
+                die.spare_block = block
+            else:
+                die.free_blocks.append(block)
+            self.stats.erases += 1
+        finally:
+            self._gc_victims.discard(victim)
+        return True
+
+    def _pick_victim(self, die: _Die) -> tuple[int, int, int] | None:
+        """The die's non-active written block with the fewest valid pages."""
+        best = None
+        best_valid = None
+        for block in range(self.geometry.blocks_per_chip):
+            if (block == die.active_block or block == die.spare_block
+                    or block in die.free_blocks):
+                continue
+            key = (die.channel, die.chip, block)
+            if key in self._gc_victims:
+                continue
+            valid = self._valid_count.get(key, 0)
+            if best_valid is None or valid < best_valid:
+                best, best_valid = key, valid
+        # Collecting a fully-valid block makes no progress.
+        if (best_valid is not None
+                and best_valid >= self.geometry.pages_per_block):
+            return None
+        return best
+
+    def _invalidate_ppn(self, ppn: int) -> None:
+        self.nand.invalidate(ppn)
+        channel, chip, block, __ = self.geometry.unflatten(ppn)
+        key = (channel, chip, block)
+        self._valid_count[key] = self._valid_count.get(key, 1) - 1
+        self._die_of[(channel, chip)].invalid_pages += 1
+
+    def _check_lpn(self, lpn: int) -> None:
+        if lpn < 0:
+            raise DeviceError(f"negative LPN {lpn}")

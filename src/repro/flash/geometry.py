@@ -1,0 +1,117 @@
+"""NAND organization and timing parameters.
+
+Defaults describe a mid-2012 enterprise SATA/SAS SSD of the kind the paper's
+prototype is built on: 8 channels, 4 dies per channel, 8 KiB pages (matching
+the DBMS page size so one logical page maps to one flash page), 256 pages
+per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FlashError
+from repro.storage.page import PAGE_SIZE
+from repro.units import MB, US, MS
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical organization of the flash array."""
+
+    channels: int = 8
+    chips_per_channel: int = 4
+    blocks_per_chip: int = 256
+    pages_per_block: int = 256
+    page_nbytes: int = PAGE_SIZE
+
+    def __post_init__(self):
+        for field in ("channels", "chips_per_channel", "blocks_per_chip",
+                      "pages_per_block", "page_nbytes"):
+            if getattr(self, field) < 1:
+                raise FlashError(f"{field} must be positive")
+
+    @property
+    def dies(self) -> int:
+        """Total dies (chips) across all channels."""
+        return self.channels * self.chips_per_channel
+
+    @property
+    def pages_per_chip(self) -> int:
+        """Flash pages on one die."""
+        return self.blocks_per_chip * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        """Flash pages in the whole array."""
+        return self.dies * self.pages_per_chip
+
+    @property
+    def capacity_nbytes(self) -> int:
+        """Raw capacity in bytes."""
+        return self.total_pages * self.page_nbytes
+
+    # -- physical address arithmetic ---------------------------------------
+
+    def ppn(self, channel: int, chip: int, block: int, page: int) -> int:
+        """Flatten a (channel, chip, block, page) address to a PPN."""
+        self._check(channel, chip, block, page)
+        return (((channel * self.chips_per_channel + chip)
+                 * self.blocks_per_chip + block)
+                * self.pages_per_block + page)
+
+    def unflatten(self, ppn: int) -> tuple[int, int, int, int]:
+        """Inverse of :meth:`ppn`."""
+        if not 0 <= ppn < self.total_pages:
+            raise FlashError(f"PPN {ppn} out of range")
+        page = ppn % self.pages_per_block
+        rest = ppn // self.pages_per_block
+        block = rest % self.blocks_per_chip
+        rest //= self.blocks_per_chip
+        chip = rest % self.chips_per_channel
+        channel = rest // self.chips_per_channel
+        return channel, chip, block, page
+
+    def channel_of(self, ppn: int) -> int:
+        """Channel a PPN lives on."""
+        return self.unflatten(ppn)[0]
+
+    def _check(self, channel: int, chip: int, block: int, page: int) -> None:
+        if not (0 <= channel < self.channels
+                and 0 <= chip < self.chips_per_channel
+                and 0 <= block < self.blocks_per_chip
+                and 0 <= page < self.pages_per_block):
+            raise FlashError(
+                f"bad flash address ({channel}, {chip}, {block}, {page})")
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """NAND operation timings and channel transfer rate.
+
+    ``read_latency`` is the array-sense time (tR). Because reads across the
+    dies of one channel interleave (cache reads / multi-plane), the channel's
+    effective per-page occupancy is
+    ``max(page transfer time, read_latency / chips_per_channel)``.
+    """
+
+    read_latency: float = 75 * US
+    program_latency: float = 1.3 * MS
+    erase_latency: float = 3.0 * MS
+    channel_rate: float = 400 * MB  # ONFI-2.x bus, bytes/s
+
+    def page_transfer_time(self, page_nbytes: int) -> float:
+        """Seconds to move one page over the channel bus."""
+        return page_nbytes / self.channel_rate
+
+    def channel_occupancy_per_read(self, geometry: NandGeometry) -> float:
+        """Effective channel busy time per sequential page read."""
+        transfer = self.page_transfer_time(geometry.page_nbytes)
+        sense = self.read_latency / geometry.chips_per_channel
+        return max(transfer, sense)
+
+    def channel_occupancy_per_program(self, geometry: NandGeometry) -> float:
+        """Effective channel busy time per sequential page program."""
+        transfer = self.page_transfer_time(geometry.page_nbytes)
+        program = self.program_latency / geometry.chips_per_channel
+        return max(transfer, program)

@@ -1,0 +1,158 @@
+"""Rotating-disk baseline device.
+
+Models the paper's 146 GB 10K-RPM SAS HDD: positioning (seek + rotational
+latency) for discontiguous accesses, then media-rate transfer. Sequential
+heap scans pay positioning once and stream afterwards, so the device is
+~6.5x slower than the SAS SSD on Q6-style scans — the gap behind Table 3's
+energy numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+from repro.errors import DeviceError
+from repro.flash.ssd import DevicePower
+from repro.sim import Bandwidth, Event, Resource, Simulator
+from repro.storage.page import PAGE_SIZE
+from repro.units import GIB, MB, MS
+
+
+@dataclass(frozen=True)
+class HddSpec:
+    """Configuration of the HDD baseline.
+
+    The 85 MB/s sustained media rate reflects a 2.5-inch 146 GB 10K SAS
+    drive of the paper's era; with it a 90 GB LINEITEM scan takes ~18 min,
+    matching the four-digit Q6 elapsed time in Table 3.
+    """
+
+    name: str = "sas-hdd"
+    capacity_nbytes: int = 146 * GIB
+    media_rate: float = 85 * MB
+    avg_seek_time: float = 3.8 * MS
+    rpm: int = 10_000
+    page_nbytes: int = PAGE_SIZE
+    power: DevicePower = DevicePower(idle_w=7.0, active_w=11.5)
+
+    @property
+    def avg_rotational_latency(self) -> float:
+        """Half a revolution, seconds."""
+        return 0.5 * 60.0 / self.rpm
+
+    @property
+    def positioning_time(self) -> float:
+        """Average seek + rotational latency for a random access."""
+        return self.avg_seek_time + self.avg_rotational_latency
+
+
+class Hdd:
+    """A simulated disk: real bytes behind a seek + stream timing model."""
+
+    def __init__(self, sim: Simulator, spec: HddSpec | None = None):
+        self.sim = sim
+        self.spec = spec or HddSpec()
+        self._pages: dict[int, bytes] = {}
+        self._next_lpn = 0
+        self._head_lpn: int | None = None
+        # One actuator: concurrent requests serialize at the device.
+        self.actuator = Resource(sim, 1, name=f"{self.spec.name}-actuator")
+        self.interface = Bandwidth(sim, self.spec.media_rate,
+                                   name=f"{self.spec.name}-interface")
+        self.seeks = 0
+
+    @property
+    def page_nbytes(self) -> int:
+        """Logical page size."""
+        return self.spec.page_nbytes
+
+    @property
+    def capacity_pages(self) -> int:
+        """Logical capacity in pages."""
+        return self.spec.capacity_nbytes // self.spec.page_nbytes
+
+    # -- space management -----------------------------------------------------
+
+    def allocate_extent(self, page_count: int) -> int:
+        """Reserve a run of logical pages; returns the first LPN."""
+        if page_count < 1:
+            raise DeviceError(f"bad extent size {page_count}")
+        if self._next_lpn + page_count > self.capacity_pages:
+            raise DeviceError(
+                f"extent of {page_count} pages exceeds device capacity")
+        first = self._next_lpn
+        self._next_lpn += page_count
+        return first
+
+    def load_extent(self, pages: Sequence[bytes]) -> int:
+        """Bulk-load pages without charging simulated time."""
+        first = self.allocate_extent(len(pages))
+        for offset, data in enumerate(pages):
+            if len(data) != self.page_nbytes:
+                raise DeviceError(f"page of {len(data)} bytes")
+            self._pages[first + offset] = bytes(data)
+        return first
+
+    # -- timed I/O ----------------------------------------------------------------
+
+    def host_read(self, lpns: Sequence[int]) -> Generator[Event, None, list[bytes]]:
+        """Timed read: position if discontiguous, then stream at media rate.
+
+        The positioning decision happens *after* the actuator is acquired —
+        queued requests that turn out to be sequential with their
+        predecessor pay no seek.
+        """
+        lpns = list(lpns)
+        for lpn in lpns:
+            if lpn not in self._pages:
+                raise DeviceError(f"read of unwritten LPN {lpn}")
+        yield self.actuator.request()
+        try:
+            yield self.sim.timeout(self._service_time(lpns))
+            if lpns:
+                self._head_lpn = lpns[-1] + 1
+        finally:
+            self.actuator.release()
+        return [self._pages[lpn] for lpn in lpns]
+
+    def host_write(self, lpns: Sequence[int],
+                   pages: Sequence[bytes]) -> Generator[Event, None, None]:
+        """Timed write (same positioning + stream model as reads)."""
+        lpns = list(lpns)
+        for data in pages:
+            if len(data) != self.page_nbytes:
+                raise DeviceError(f"page of {len(data)} bytes")
+        yield self.actuator.request()
+        try:
+            yield self.sim.timeout(self._service_time(lpns))
+            for lpn, data in zip(lpns, pages):
+                self._pages[lpn] = bytes(data)
+            if lpns:
+                self._head_lpn = lpns[-1] + 1
+        finally:
+            self.actuator.release()
+
+    def _service_time(self, lpns: list[int]) -> float:
+        """Positioning (if the head must move) plus streaming time."""
+        hold = 0.0
+        if lpns and lpns[0] != self._head_lpn:
+            hold += self.spec.positioning_time
+            self.seeks += 1
+        hold += len(lpns) * self.page_nbytes / self.spec.media_rate
+        return hold
+
+    # -- untimed access ---------------------------------------------------------
+
+    def read_page_direct(self, lpn: int) -> bytes:
+        """Fetch page bytes without simulated time."""
+        try:
+            return self._pages[lpn]
+        except KeyError:
+            raise DeviceError(f"read of unwritten LPN {lpn}") from None
+
+    # -- reporting ----------------------------------------------------------------
+
+    def external_read_rate(self) -> float:
+        """Sustained sequential read bandwidth, bytes/s."""
+        return self.spec.media_rate

@@ -1,0 +1,83 @@
+"""Host interface standards and the Figure-1 bandwidth roadmap.
+
+Figure 1 of the paper plots host-interface bandwidth against SSD-internal
+aggregate bandwidth, both relative to the 2007 interface speed (375 MB/s),
+with Samsung projections beyond 2012 opening a ~10x gap. The roadmap data
+here regenerates that figure; the per-standard specs feed the device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class HostInterfaceSpec:
+    """One host bus standard."""
+
+    name: str
+    raw_rate: float        # line rate, bytes/s
+    effective_rate: float  # post-overhead payload rate, bytes/s
+
+    def __post_init__(self):
+        if self.effective_rate <= 0 or self.effective_rate > self.raw_rate:
+            raise DeviceError(f"bad rates for interface {self.name}")
+
+
+#: Interface catalog. Effective rates reflect protocol overheads; the paper
+#: measures 550 MB/s through its SAS-6Gbps HBA (Table 2).
+INTERFACES: dict[str, HostInterfaceSpec] = {
+    "sata2": HostInterfaceSpec("sata2", raw_rate=300 * MB,
+                               effective_rate=275 * MB),
+    "sata3": HostInterfaceSpec("sata3", raw_rate=600 * MB,
+                               effective_rate=550 * MB),
+    "sas6": HostInterfaceSpec("sas6", raw_rate=600 * MB,
+                              effective_rate=550 * MB),
+    "sas12": HostInterfaceSpec("sas12", raw_rate=1200 * MB,
+                               effective_rate=1100 * MB),
+    "pcie2x4": HostInterfaceSpec("pcie2x4", raw_rate=2000 * MB,
+                                 effective_rate=1600 * MB),
+    "pcie3x4": HostInterfaceSpec("pcie3x4", raw_rate=3940 * MB,
+                                 effective_rate=3200 * MB),
+}
+
+#: Year -> (host interface MB/s, SSD internal MB/s). 2007-2012 match the
+#: paper's narrative (375 MB/s interface baseline; 2012 device: 550 external,
+#: 1,560 internal); later years follow the "internal grows faster" projection
+#: that Figure 1 attributes to Samsung.
+INTERFACE_ROADMAP: list[tuple[int, float, float]] = [
+    (2007, 375.0, 500.0),
+    (2008, 375.0, 640.0),
+    (2009, 550.0, 800.0),
+    (2010, 550.0, 1000.0),
+    (2011, 550.0, 1250.0),
+    (2012, 550.0, 1560.0),
+    (2013, 750.0, 2400.0),
+    (2014, 1100.0, 3700.0),
+    (2015, 1100.0, 5800.0),
+    (2016, 1100.0, 9000.0),
+    (2017, 1100.0, 11000.0),
+]
+
+
+def bandwidth_trend() -> list[dict[str, float]]:
+    """Figure-1 series: bandwidths relative to the 2007 interface speed.
+
+    Returns one row per year with ``interface_x`` and ``internal_x``
+    multipliers (2007 interface = 1.0).
+    """
+    baseline = INTERFACE_ROADMAP[0][1]
+    return [
+        {
+            "year": year,
+            "interface_mb_s": host,
+            "internal_mb_s": internal,
+            "interface_x": host / baseline,
+            "internal_x": internal / baseline,
+            "gap_x": internal / host,
+        }
+        for year, host, internal in INTERFACE_ROADMAP
+    ]

@@ -1,0 +1,94 @@
+"""The NAND flash array: real bytes with NAND semantics.
+
+The array enforces what firmware must live with:
+
+* reads and programs happen at page granularity,
+* a page can only be programmed once after an erase (no in-place update),
+* erases happen at block granularity.
+
+State is tracked per page; data is stored sparsely (only programmed pages
+hold bytes), so simulating a multi-GiB device costs memory proportional to
+the data actually written.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import FlashError
+from repro.flash.geometry import NandGeometry
+
+
+class PageState(enum.Enum):
+    """Lifecycle of one flash page."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+    INVALID = "invalid"  # superseded data awaiting block erase
+
+
+class NandArray:
+    """A flash array storing real page bytes under NAND rules."""
+
+    def __init__(self, geometry: NandGeometry):
+        self.geometry = geometry
+        self._data: dict[int, bytes] = {}
+        self._state: dict[int, PageState] = {}
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    def state(self, ppn: int) -> PageState:
+        """Current state of a page (pages start erased)."""
+        self._check_ppn(ppn)
+        return self._state.get(ppn, PageState.ERASED)
+
+    def read(self, ppn: int) -> bytes:
+        """Read a programmed page's bytes."""
+        self._check_ppn(ppn)
+        if self.state(ppn) is not PageState.PROGRAMMED:
+            raise FlashError(f"read of {self.state(ppn).value} page {ppn}")
+        self.reads += 1
+        return self._data[ppn]
+
+    def program(self, ppn: int, data: bytes) -> None:
+        """Program an erased page with exactly one page of bytes."""
+        self._check_ppn(ppn)
+        if len(data) != self.geometry.page_nbytes:
+            raise FlashError(
+                f"program of {len(data)} bytes; page is "
+                f"{self.geometry.page_nbytes}")
+        if self.state(ppn) is not PageState.ERASED:
+            raise FlashError(
+                f"program of {self.state(ppn).value} page {ppn} "
+                "(erase-before-program violated)")
+        self._data[ppn] = bytes(data)
+        self._state[ppn] = PageState.PROGRAMMED
+        self.programs += 1
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a programmed page's data as superseded (FTL bookkeeping)."""
+        self._check_ppn(ppn)
+        if self.state(ppn) is not PageState.PROGRAMMED:
+            raise FlashError(f"invalidate of {self.state(ppn).value} page {ppn}")
+        self._state[ppn] = PageState.INVALID
+
+    def erase_block(self, channel: int, chip: int, block: int) -> None:
+        """Erase a whole block, releasing all its pages."""
+        geometry = self.geometry
+        first = geometry.ppn(channel, chip, block, 0)
+        for ppn in range(first, first + geometry.pages_per_block):
+            self._state.pop(ppn, None)
+            self._data.pop(ppn, None)
+        self.erases += 1
+
+    def block_page_states(self, channel: int, chip: int,
+                          block: int) -> list[PageState]:
+        """States of every page in a block, in page order."""
+        first = self.geometry.ppn(channel, chip, block, 0)
+        return [self.state(ppn)
+                for ppn in range(first, first + self.geometry.pages_per_block)]
+
+    def _check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise FlashError(f"PPN {ppn} out of range")

@@ -1,0 +1,153 @@
+"""The composed SSD device.
+
+An :class:`Ssd` wires together the NAND array, FTL, flash controller, device
+DRAM, and a host interface link. Two read paths mirror the paper's core
+contrast:
+
+* :meth:`Ssd.host_read` — the conventional path: flash -> device DRAM ->
+  host interface. Externally visible bandwidth is capped by the interface
+  (550 MB/s effective on the paper's SAS-6Gbps HBA).
+* :meth:`Ssd.internal_read` — the Smart SSD path: flash -> device DRAM only,
+  capped by the shared DRAM bus (1,560 MB/s). The 2.8x between the two is
+  the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+from repro.errors import DeviceError
+from repro.flash.controller import FlashController
+from repro.flash.dram import DeviceDram
+from repro.flash.ftl import PageMappedFtl
+from repro.flash.geometry import NandGeometry, NandTiming
+from repro.flash.interface import INTERFACES, HostInterfaceSpec
+from repro.flash.nand import NandArray
+from repro.sim import Bandwidth, Event, Simulator
+from repro.units import GIB, MB, MIB
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Power draw of one storage device, watts."""
+
+    idle_w: float
+    active_w: float
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.active_w < self.idle_w:
+            raise DeviceError("active power must be >= idle power >= 0")
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Configuration of one SSD device.
+
+    Defaults describe the paper's 400 GB SAS SSD / Smart SSD prototype:
+    SAS-6Gbps interface (550 MB/s effective), 1,560 MB/s internal DRAM bus.
+    """
+
+    name: str = "sas-ssd"
+    geometry: NandGeometry = field(default_factory=NandGeometry)
+    timing: NandTiming = field(default_factory=NandTiming)
+    interface: HostInterfaceSpec = INTERFACES["sas6"]
+    dram_bus_rate: float = 1560 * MB
+    dram_nbytes: int = 1 * GIB
+    dram_reserved_nbytes: int = 64 * MIB
+    power: DevicePower = DevicePower(idle_w=1.3, active_w=8.0)
+    verify_ecc: bool = True
+
+
+class Ssd:
+    """A simulated SSD: real bytes behind timed read/write paths."""
+
+    def __init__(self, sim: Simulator, spec: SsdSpec | None = None):
+        self.sim = sim
+        self.spec = spec or SsdSpec()
+        self.nand = NandArray(self.spec.geometry)
+        self.ftl = PageMappedFtl(self.spec.geometry, self.nand)
+        self.controller = FlashController(
+            sim, self.spec.geometry, self.spec.timing, self.nand, self.ftl,
+            dram_bus_rate=self.spec.dram_bus_rate,
+            verify_ecc=self.spec.verify_ecc)
+        self.dram = DeviceDram(self.spec.dram_nbytes,
+                               self.spec.dram_reserved_nbytes)
+        self.interface = Bandwidth(sim, self.spec.interface.effective_rate,
+                                   name=f"{self.spec.name}-interface")
+        self._next_lpn = 0
+
+    @property
+    def page_nbytes(self) -> int:
+        """Logical/flash page size."""
+        return self.spec.geometry.page_nbytes
+
+    @property
+    def capacity_pages(self) -> int:
+        """Exported logical capacity in pages."""
+        return self.ftl.logical_capacity_pages
+
+    # -- space management -----------------------------------------------------
+
+    def allocate_extent(self, page_count: int) -> int:
+        """Reserve a run of logical pages; returns the first LPN."""
+        if page_count < 1:
+            raise DeviceError(f"bad extent size {page_count}")
+        if self._next_lpn + page_count > self.capacity_pages:
+            raise DeviceError(
+                f"extent of {page_count} pages exceeds device capacity")
+        first = self._next_lpn
+        self._next_lpn += page_count
+        return first
+
+    def load_extent(self, pages: Sequence[bytes]) -> int:
+        """Bulk-load pages without charging simulated time (data staging).
+
+        Loading the database is setup, not the experiment; the paper's runs
+        start from already-loaded heap tables ("cold" only means an empty
+        buffer pool). Returns the extent's first LPN.
+        """
+        first = self.allocate_extent(len(pages))
+        for offset, data in enumerate(pages):
+            self.ftl.write(first + offset, data)
+        return first
+
+    # -- timed I/O paths --------------------------------------------------------
+
+    def internal_read(self, lpns: Sequence[int]) -> Generator[Event, None, list[bytes]]:
+        """Smart-SSD path: flash -> device DRAM (no interface crossing)."""
+        pages = yield from self.controller.read_lpns(lpns)
+        return pages
+
+    def host_read(self, lpns: Sequence[int]) -> Generator[Event, None, list[bytes]]:
+        """Conventional path: flash -> device DRAM -> host interface."""
+        pages = yield from self.controller.read_lpns(lpns)
+        yield from self.interface.transfer(len(lpns) * self.page_nbytes)
+        return pages
+
+    def host_write(self, lpns: Sequence[int],
+                   pages: Sequence[bytes]) -> Generator[Event, None, None]:
+        """Timed host write: interface -> device DRAM -> flash."""
+        yield from self.interface.transfer(len(lpns) * self.page_nbytes)
+        yield from self.controller.write_lpns(lpns, pages)
+
+    def transfer_to_host(self, nbytes: int) -> Generator[Event, None, None]:
+        """Move result bytes (not pages) to the host — the GET reply path."""
+        yield from self.interface.transfer(nbytes)
+
+    # -- untimed access ---------------------------------------------------------
+
+    def read_page_direct(self, lpn: int) -> bytes:
+        """Fetch page bytes without simulated time (assertions, debugging)."""
+        return self.ftl.read(lpn)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def internal_read_rate(self) -> float:
+        """Sustained internal sequential read bandwidth, bytes/s (Table 2)."""
+        return self.controller.internal_read_rate()
+
+    def external_read_rate(self) -> float:
+        """Sustained host-visible sequential read bandwidth, bytes/s."""
+        return min(self.internal_read_rate(),
+                   self.spec.interface.effective_rate)

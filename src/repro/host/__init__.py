@@ -1,0 +1,23 @@
+"""Host DBMS: catalog, buffer pool, machine, executor, optimizer, facade.
+
+A miniature relational engine standing in for the paper's modified SQL
+Server 2012. It executes the paper's query class — selection scans, scalar
+aggregation, and simple (build-side-in-memory) hash joins — over NSM or PAX
+heap tables, either conventionally (pages pulled to the host) or by pushing
+the work into a :class:`~repro.smart.device.SmartSsd` through the
+OPEN/GET/CLOSE protocol. The operator code itself lives in
+:mod:`repro.engine` so both placements execute identically.
+"""
+
+from repro.host.bufferpool import BufferPool, BufferPoolError
+from repro.host.catalog import Catalog, Table
+from repro.host.machine import HostMachine, HostSpec
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolError",
+    "Catalog",
+    "HostMachine",
+    "HostSpec",
+    "Table",
+]

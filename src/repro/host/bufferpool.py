@@ -1,0 +1,157 @@
+"""Buffer pool with clock (second-chance) eviction.
+
+The paper's experiments are "cold" — the buffer pool is empty before each
+query — but the pool matters for its §4.3 discussion: pushdown is unsafe
+when the pool holds a *newer* (dirty) version of a page than the device, and
+pushdown may be unprofitable when the data is already cached. Both
+interactions are modeled: the pool exposes dirty-page queries for the
+pushdown veto, and hits let the conventional path skip device I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.storage.page import PAGE_SIZE
+
+
+class BufferPoolError(ReproError):
+    """Pin-count or capacity misuse."""
+
+
+@dataclass
+class _Frame:
+    key: tuple[str, int]
+    data: bytes
+    dirty: bool = False
+    referenced: bool = True
+    pinned: int = 0
+
+
+class BufferPool:
+    """Page cache keyed by (device name, LPN), clock eviction."""
+
+    def __init__(self, capacity_nbytes: int, page_nbytes: int = PAGE_SIZE):
+        if capacity_nbytes < page_nbytes:
+            raise BufferPoolError("buffer pool smaller than one page")
+        self.capacity_frames = capacity_nbytes // page_nbytes
+        self.page_nbytes = page_nbytes
+        self._frames: dict[tuple[str, int], _Frame] = {}
+        self._clock_order: list[tuple[str, int]] = []
+        self._clock_hand = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def lookup(self, device: str, lpn: int) -> bytes | None:
+        """Return cached page bytes, or None on miss. Counts hit/miss."""
+        frame = self._frames.get((device, lpn))
+        if frame is None:
+            self.misses += 1
+            return None
+        frame.referenced = True
+        self.hits += 1
+        return frame.data
+
+    def contains(self, device: str, lpn: int) -> bool:
+        """Presence check without touching hit/miss stats."""
+        return (device, lpn) in self._frames
+
+    def insert(self, device: str, lpn: int, data: bytes,
+               dirty: bool = False) -> None:
+        """Cache a page, evicting with the clock policy if full."""
+        key = (device, lpn)
+        if key in self._frames:
+            frame = self._frames[key]
+            frame.data = data
+            frame.dirty = frame.dirty or dirty
+            frame.referenced = True
+            return
+        if len(self._frames) >= self.capacity_frames:
+            self._evict_one()
+        self._frames[key] = _Frame(key=key, data=data, dirty=dirty)
+        self._clock_order.append(key)
+
+    def mark_dirty(self, device: str, lpn: int) -> None:
+        """Flag a cached page as newer than the device copy."""
+        try:
+            self._frames[(device, lpn)].dirty = True
+        except KeyError:
+            raise BufferPoolError(
+                f"page ({device}, {lpn}) not cached") from None
+
+    def pin(self, device: str, lpn: int) -> None:
+        """Prevent a cached page from being evicted."""
+        try:
+            self._frames[(device, lpn)].pinned += 1
+        except KeyError:
+            raise BufferPoolError(
+                f"page ({device}, {lpn}) not cached") from None
+
+    def unpin(self, device: str, lpn: int) -> None:
+        """Release a pin."""
+        frame = self._frames.get((device, lpn))
+        if frame is None or frame.pinned <= 0:
+            raise BufferPoolError(f"unpin of unpinned page ({device}, {lpn})")
+        frame.pinned -= 1
+
+    def dirty_lpns(self, device: str) -> set[int]:
+        """LPNs of dirty cached pages for a device (the pushdown veto set)."""
+        return {lpn for (dev, lpn), frame in self._frames.items()
+                if dev == device and frame.dirty}
+
+    def flush(self, device: str, lpn: int) -> bytes:
+        """Clear a page's dirty flag, returning the bytes to write back."""
+        frame = self._frames.get((device, lpn))
+        if frame is None:
+            raise BufferPoolError(f"page ({device}, {lpn}) not cached")
+        frame.dirty = False
+        return frame.data
+
+    def cached_fraction(self, device: str, first_lpn: int,
+                        page_count: int) -> float:
+        """Fraction of an extent currently cached (optimizer input)."""
+        if page_count <= 0:
+            return 0.0
+        cached = sum(1 for lpn in range(first_lpn, first_lpn + page_count)
+                     if (device, lpn) in self._frames)
+        return cached / page_count
+
+    # -- internal -------------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        """Clock sweep: skip pinned and dirty frames, give referenced a
+        second chance.
+
+        Dirty frames hold updates the device has not seen yet; evicting
+        them would lose data, so they stay resident until flushed (the
+        checkpointer's job, :meth:`flush`).
+        """
+        swept = 0
+        limit = 2 * len(self._clock_order) + 1
+        while swept <= limit:
+            if not self._clock_order:
+                break
+            self._clock_hand %= len(self._clock_order)
+            key = self._clock_order[self._clock_hand]
+            frame = self._frames.get(key)
+            if frame is None:
+                self._clock_order.pop(self._clock_hand)
+                continue
+            if frame.pinned > 0 or frame.dirty:
+                self._clock_hand += 1
+            elif frame.referenced:
+                frame.referenced = False
+                self._clock_hand += 1
+            else:
+                self._clock_order.pop(self._clock_hand)
+                del self._frames[key]
+                self.evictions += 1
+                return
+            swept += 1
+        raise BufferPoolError(
+            "buffer pool is full of pinned or dirty pages")

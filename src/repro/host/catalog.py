@@ -1,0 +1,101 @@
+"""Table catalog: which relations exist and where their pages live."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.storage import HeapFile, Layout, Schema, build_heap_pages
+
+
+@dataclass(frozen=True)
+class Table:
+    """One relation: schema + heap file + owning device."""
+
+    name: str
+    heap: HeapFile
+    device_name: str
+
+    @property
+    def schema(self) -> Schema:
+        """The relation schema."""
+        return self.heap.schema
+
+    @property
+    def layout(self) -> Layout:
+        """On-page layout of the heap."""
+        return self.heap.layout
+
+    @property
+    def tuple_count(self) -> int:
+        """Live tuples."""
+        return self.heap.tuple_count
+
+    @property
+    def page_count(self) -> int:
+        """Pages in the heap file."""
+        return self.heap.page_count
+
+
+class Catalog:
+    """Name -> :class:`Table` registry with loading helpers."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._next_table_id = 1
+
+    def create_table(self, name: str, schema: Schema, layout: Layout,
+                     rows: np.ndarray | Iterable[Sequence[Any]],
+                     device: Any) -> Table:
+        """Build heap pages from rows and load them onto ``device``.
+
+        ``rows`` may be a structured array with the schema dtype or an
+        iterable of Python tuples. Loading is untimed (staging, not the
+        experiment). The device must expose ``load_extent`` and have a
+        ``spec.name``.
+        """
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if not isinstance(rows, np.ndarray):
+            rows = schema.rows_to_array(rows)
+        table_id = self._next_table_id
+        self._next_table_id += 1
+        pages = build_heap_pages(schema, rows, layout, table_id=table_id)
+        first_lpn = device.load_extent(pages)
+        heap = HeapFile(schema=schema, layout=layout, first_lpn=first_lpn,
+                        page_count=len(pages), tuple_count=len(rows),
+                        table_id=table_id)
+        table = Table(name=name, heap=heap, device_name=device.spec.name)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table) -> None:
+        """Register an externally-built table descriptor."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog (pages are left on the device)."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

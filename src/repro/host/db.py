@@ -1,0 +1,370 @@
+"""The `Database` facade: devices, tables, and query execution.
+
+The top-level user API. A :class:`Database` owns one simulated world —
+host machine, buffer pool, catalog, and storage devices — and executes
+queries with a chosen placement:
+
+* ``placement="host"`` — conventional execution (pages to the host);
+* ``placement="smart"`` — pushdown through OPEN/GET/CLOSE;
+* ``placement="auto"`` — the §4.3-style cost-based optimizer decides.
+
+Every execution returns an :class:`~repro.model.report.ExecutionReport`
+with the result rows, virtual elapsed time, work counters, I/O stats, and
+the Table-3 energy decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, PlanError
+from repro.engine.plans import Query
+from repro.flash.hdd import Hdd, HddSpec
+from repro.flash.ssd import Ssd, SsdSpec
+from repro.host.bufferpool import BufferPool
+from repro.host.catalog import Catalog, Table
+from repro.host.executor import (
+    QueryOutcome,
+    host_query_process,
+    smart_query_process,
+)
+from repro.host.machine import HostMachine, HostSpec
+from repro.model.costs import DEFAULT_COSTS, CycleCosts
+from repro.model.energy import DeviceActivity, EnergyMeter
+from repro.model.report import ExecutionReport, IoStats
+from repro.sim import Simulator
+from repro.smart.device import SmartSsd, SmartSsdSpec
+from repro.storage import Layout, Schema
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """Static configuration of the simulated world."""
+
+    host: HostSpec = field(default_factory=HostSpec)
+    costs: CycleCosts = DEFAULT_COSTS
+
+
+class Database:
+    """One simulated host + storage world and its catalog."""
+
+    def __init__(self, config: DatabaseConfig | None = None):
+        self.config = config or DatabaseConfig()
+        self.sim = Simulator()
+        self.machine = HostMachine(self.sim, self.config.host)
+        self.buffer_pool = BufferPool(self.config.host.buffer_pool_nbytes)
+        self.catalog = Catalog()
+        self.energy_meter = EnergyMeter(self.config.host.power)
+        self._devices: dict[str, Any] = {}
+
+    @property
+    def costs(self) -> CycleCosts:
+        """The calibrated cycle-cost table."""
+        return self.config.costs
+
+    # -- device management -------------------------------------------------------
+
+    def create_ssd(self, spec: SsdSpec | None = None) -> Ssd:
+        """Attach a regular SAS SSD."""
+        return self._register(Ssd(self.sim, spec))
+
+    def create_smart_ssd(self, spec: SmartSsdSpec | None = None) -> SmartSsd:
+        """Attach a Smart SSD."""
+        return self._register(SmartSsd(self.sim, spec))
+
+    def create_hdd(self, spec: HddSpec | None = None) -> Hdd:
+        """Attach the SAS HDD baseline."""
+        return self._register(Hdd(self.sim, spec))
+
+    def _register(self, device: Any) -> Any:
+        name = device.spec.name
+        if name in self._devices:
+            raise CatalogError(f"device {name!r} already attached")
+        self._devices[name] = device
+        return device
+
+    def device(self, name: str) -> Any:
+        """Look up an attached device."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown device {name!r}; have {sorted(self._devices)}"
+            ) from None
+
+    def device_names(self) -> list[str]:
+        """All attached device names, sorted."""
+        return sorted(self._devices)
+
+    # -- tables ----------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, layout: Layout,
+                     rows: np.ndarray | Iterable[Sequence[Any]],
+                     device_name: str) -> Table:
+        """Create and bulk-load a heap table on the named device."""
+        return self.catalog.create_table(name, schema, layout, rows,
+                                         self.device(device_name))
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(self, query: Query, placement: str = "host",
+                io_unit_pages: Optional[int] = None,
+                window: Optional[int] = None) -> ExecutionReport:
+        """Run a query to completion and account for it.
+
+        ``placement`` is ``"host"``, ``"smart"``, or ``"auto"`` (cost-based
+        choice per §4.3).
+        """
+        if placement == "auto":
+            from repro.host.optimizer import choose_placement
+            placement = choose_placement(self, query).placement
+
+        table = self.catalog.table(query.table)
+        start = self.sim.now
+        snapshots = {name: self._busy_snapshot(device)
+                     for name, device in self._devices.items()}
+        host_cpu_before = self.machine.cpu_core_seconds()
+        bp_hits_before = self.buffer_pool.hits
+        bp_misses_before = self.buffer_pool.misses
+
+        kwargs = {}
+        if io_unit_pages is not None:
+            kwargs["io_unit_pages"] = io_unit_pages
+        if window is not None:
+            kwargs["window"] = window
+        if placement == "host":
+            process = host_query_process(self, query, **kwargs)
+        elif placement == "smart":
+            process = smart_query_process(self, query, **kwargs)
+        else:
+            raise PlanError(f"unknown placement {placement!r}")
+        proc = self.sim.process(process, name=f"query-{query.name}")
+        self.sim.run()
+        if not proc.triggered:
+            raise PlanError(f"query {query.name!r} deadlocked")
+        outcome: QueryOutcome = proc.value
+
+        elapsed = self.sim.now - start
+        host_cpu_core_seconds = (self.machine.cpu_core_seconds()
+                                 - host_cpu_before)
+        activities = [
+            self._device_activity(device, snapshots[name])
+            for name, device in self._devices.items()
+        ]
+        energy = self.energy_meter.measure(elapsed, host_cpu_core_seconds,
+                                           activities)
+
+        snap = snapshots[table.device_name]
+        device = self.device(table.device_name)
+        io = IoStats(
+            pages_read_device=outcome.pages_read,
+            bytes_over_interface=(self._interface_bytes(device)
+                                  - snap["interface_bytes"]),
+            bytes_over_dram_bus=(self._dram_bytes(device)
+                                 - snap["dram_bytes"]),
+            buffer_pool_hits=self.buffer_pool.hits - bp_hits_before,
+            buffer_pool_misses=self.buffer_pool.misses - bp_misses_before,
+        )
+        device_cpu = 0.0
+        if isinstance(device, SmartSsd):
+            device_cpu = device.cpu_core_seconds() - snap["cpu_busy"]
+        return ExecutionReport(
+            rows=outcome.rows,
+            elapsed_seconds=elapsed,
+            placement=placement,
+            device_name=table.device_name,
+            layout=table.layout.value,
+            counters=outcome.counters,
+            io=io,
+            energy=energy,
+            host_cpu_core_seconds=host_cpu_core_seconds,
+            device_cpu_core_seconds=device_cpu,
+            utilization=self._utilization(device, snap, elapsed,
+                                          host_cpu_core_seconds),
+        )
+
+    def sql(self, statement: str, placement: str = "host",
+            **kwargs) -> ExecutionReport:
+        """Parse, bind, and execute a SQL SELECT statement.
+
+        Supports the paper's dialect — see :mod:`repro.sql`. Extra keyword
+        arguments are forwarded to :meth:`execute`.
+        """
+        from repro.sql import compile_sql
+        query = compile_sql(statement, self.catalog)
+        return self.execute(query, placement=placement, **kwargs)
+
+    def explain(self, query_or_sql, placement: str = "smart") -> str:
+        """Render the physical plan (Figures 4/6 style) for a query or SQL."""
+        from repro.host.planner import explain as render
+        if isinstance(query_or_sql, str):
+            from repro.sql import compile_sql
+            query_or_sql = compile_sql(query_or_sql, self.catalog)
+        return render(self, query_or_sql, placement=placement)
+
+    def update_rows(self, table_name: str, predicate,
+                    assignments) -> int:
+        """Timed UPDATE through the buffer pool; returns rows changed.
+
+        The rewritten pages stay dirty in the buffer pool, which makes
+        pushdown on the table unsafe (§4.3) until :meth:`flush_table`.
+        ``assignments`` maps column names to values or expression trees.
+        """
+        from repro.host.dml import update_process
+        proc = self.sim.process(
+            update_process(self, table_name, predicate, assignments),
+            name=f"update-{table_name}")
+        self.sim.run()
+        if not proc.triggered:
+            raise PlanError(f"update of {table_name!r} deadlocked")
+        return proc.value
+
+    def flush_table(self, table_name: str) -> int:
+        """Timed write-back of a table's dirty pages; returns pages flushed.
+
+        Clears the pushdown veto: afterwards the device copy is current.
+        """
+        from repro.host.dml import flush_process
+        proc = self.sim.process(flush_process(self, table_name),
+                                name=f"flush-{table_name}")
+        self.sim.run()
+        if not proc.triggered:
+            raise PlanError(f"flush of {table_name!r} deadlocked")
+        return proc.value
+
+    def execute_concurrent(self, runs: Sequence[tuple[Query, str]]
+                           ) -> list[ExecutionReport]:
+        """Run several queries concurrently in one simulated window.
+
+        Models the paper's §4.3 concern about "the impact of concurrent
+        queries": sessions contend for device CPU, the DRAM bus, the host
+        interface, and host cores. Returns one report per query, in input
+        order; each report's elapsed time is that query's own completion
+        time, and the energy block (attached to every report identically)
+        covers the whole window.
+        """
+        start = self.sim.now
+        snapshots = {name: self._busy_snapshot(device)
+                     for name, device in self._devices.items()}
+        host_cpu_before = self.machine.cpu_core_seconds()
+
+        completions: list[Optional[float]] = [None] * len(runs)
+        outcomes: list[Optional[QueryOutcome]] = [None] * len(runs)
+
+        def wrapper(index: int, query: Query, placement: str):
+            if placement == "host":
+                outcome = yield from host_query_process(self, query)
+            elif placement == "smart":
+                outcome = yield from smart_query_process(self, query)
+            else:
+                raise PlanError(f"unknown placement {placement!r}")
+            completions[index] = self.sim.now
+            outcomes[index] = outcome
+
+        procs = [self.sim.process(wrapper(i, query, placement),
+                                  name=f"concurrent-{i}")
+                 for i, (query, placement) in enumerate(runs)]
+        gate = self.sim.all_of(procs)
+        self.sim.run()
+        if not gate.triggered:
+            raise PlanError("concurrent batch deadlocked")
+
+        window = self.sim.now - start
+        host_cpu = self.machine.cpu_core_seconds() - host_cpu_before
+        activities = [self._device_activity(device, snapshots[name])
+                      for name, device in self._devices.items()]
+        energy = self.energy_meter.measure(window, host_cpu, activities)
+
+        reports = []
+        for (query, placement), outcome, done_at in zip(runs, outcomes,
+                                                        completions):
+            table = self.catalog.table(query.table)
+            reports.append(ExecutionReport(
+                rows=outcome.rows,
+                elapsed_seconds=done_at - start,
+                placement=placement,
+                device_name=table.device_name,
+                layout=table.layout.value,
+                counters=outcome.counters,
+                energy=energy,
+                host_cpu_core_seconds=host_cpu,
+            ))
+        return reports
+
+    # -- accounting helpers ------------------------------------------------------------
+
+    def _busy_snapshot(self, device: Any) -> dict[str, float]:
+        now = self.sim.now
+        snap = {
+            "interface_bytes": self._interface_bytes(device),
+            "dram_bytes": self._dram_bytes(device),
+            "io_busy": self._io_busy(device),
+            # For the HDD the actuator *is* the transfer path.
+            "interface_busy": (device.actuator.busy.busy_time(now)
+                               if isinstance(device, Hdd)
+                               else device.interface.busy.busy_time(now)),
+            "dram_busy": (0.0 if isinstance(device, Hdd) else
+                          device.controller.dram_bus.busy.busy_time(now)),
+            "cpu_busy": 0.0,
+        }
+        if isinstance(device, SmartSsd):
+            snap["cpu_busy"] = device.cpu.busy.busy_time(now)
+        return snap
+
+    def _utilization(self, device: Any, snap: dict[str, float],
+                     elapsed: float,
+                     host_cpu_core_seconds: float) -> dict[str, float]:
+        """Average per-resource utilization over one run window."""
+        if elapsed <= 0:
+            return {}
+        now = self.sim.now
+        transfer_busy = (device.actuator.busy.busy_time(now)
+                         if isinstance(device, Hdd)
+                         else device.interface.busy.busy_time(now))
+        util = {
+            "host-cpu": (host_cpu_core_seconds
+                         / (elapsed * self.config.host.cpu.cores)),
+            "interface": (transfer_busy - snap["interface_busy"]) / elapsed,
+        }
+        if not isinstance(device, Hdd):
+            util["dram-bus"] = (
+                (device.controller.dram_bus.busy.busy_time(now)
+                 - snap["dram_busy"]) / elapsed)
+        if isinstance(device, SmartSsd):
+            util["device-cpu"] = (
+                (device.cpu.busy.busy_time(now) - snap["cpu_busy"])
+                / (elapsed * device.cpu_spec.cores))
+        return util
+
+    def _interface_bytes(self, device: Any) -> int:
+        return device.interface.bytes_moved
+
+    def _dram_bytes(self, device: Any) -> int:
+        if isinstance(device, Hdd):
+            return 0
+        return device.controller.dram_bus.bytes_moved
+
+    def _io_busy(self, device: Any) -> float:
+        now = self.sim.now
+        if isinstance(device, Hdd):
+            return device.actuator.busy.busy_time(now)
+        return max(device.controller.dram_bus.busy.busy_time(now),
+                   device.interface.busy.busy_time(now))
+
+    def _device_activity(self, device: Any,
+                         snap: dict[str, float]) -> DeviceActivity:
+        power = device.spec.power
+        activity = DeviceActivity(
+            name=device.spec.name,
+            idle_w=power.idle_w,
+            active_delta_w=power.active_w - power.idle_w,
+            io_busy_seconds=self._io_busy(device) - snap["io_busy"],
+        )
+        if isinstance(device, SmartSsd):
+            activity.cpu_active_delta_w = device.cpu_spec.active_delta_w
+            activity.cpu_busy_core_seconds = (
+                device.cpu.busy.busy_time(self.sim.now) - snap["cpu_busy"])
+        return activity

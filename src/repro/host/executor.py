@@ -1,0 +1,300 @@
+"""Query execution drivers.
+
+Two placements for the same query:
+
+* :func:`host_query_process` — the conventional path: heap pages cross the
+  host interface into the buffer pool and the page kernels run on the host
+  CPU. I/O and compute overlap through a windowed pipeline of I/O units.
+* :func:`smart_query_process` — the pushdown path: the host OPENs a session
+  on the Smart SSD, the device streams pages internally and runs the same
+  kernels on its embedded CPU, and the host drains results with GET polls
+  and CLOSEs the session (paper §3).
+
+Both are simulation processes; the :class:`~repro.host.db.Database` facade
+spawns them and assembles :class:`~repro.model.report.ExecutionReport`s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
+
+from repro.engine.kernels import AggState, BuildCollector, PageKernel
+from repro.engine.plans import Query
+from repro.errors import PlanError, ProtocolError
+from repro.host.catalog import Table
+from repro.model.counters import WorkCounters
+from repro.sim import Event, Resource
+from repro.smart.device import SmartSsd
+from repro.smart.programs import IO_UNIT_PAGES, PIPELINE_WINDOW
+from repro.smart.programs.base import (
+    estimated_hash_table_nbytes,
+    unit_lpn_runs,
+)
+from repro.smart.protocol import OpenParams, SessionStatus
+
+if TYPE_CHECKING:
+    from repro.host.db import Database
+
+
+@dataclass
+class QueryOutcome:
+    """Raw outcome of an execution process, pre-report."""
+
+    rows: Any
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    pages_read: int = 0
+    bp_hits: int = 0
+    bp_misses: int = 0
+
+
+def _merge_select_chunks(query: Query,
+                         chunks: list[dict[str, np.ndarray]]) -> np.ndarray:
+    """Concatenate per-page output columns into one structured array."""
+    names = query.output_names()
+    parts = {name: [c[name] for c in chunks if len(c[name])]
+             for name in names}
+    arrays = {}
+    for name in names:
+        if parts[name]:
+            arrays[name] = np.concatenate(parts[name])
+        else:
+            sample = chunks[0][name] if chunks else np.empty(0)
+            arrays[name] = np.empty(0, dtype=sample.dtype)
+    dtype = np.dtype([(name, arrays[name].dtype) for name in names])
+    out = np.empty(len(next(iter(arrays.values()))), dtype=dtype)
+    for name in names:
+        out[name] = arrays[name]
+    if query.distinct and len(out):
+        from repro.engine.kernels import distinct_indexes
+        out = out[distinct_indexes({name: out[name] for name in names},
+                                   names)]
+    if query.order_by is not None and len(out):
+        from repro.engine.kernels import order_and_limit_indexes
+        out = out[order_and_limit_indexes(out[query.order_by], query.limit,
+                                          query.descending)]
+    return out
+
+
+def _finalize_aggregates(query: Query, state: AggState) -> list[dict[str, Any]]:
+    """Turn merged aggregate state into result rows (applying finalize)."""
+    if query.group_by is not None:
+        names = query.group_by_columns
+        rows = []
+        for group in sorted(state.groups):
+            key = group if isinstance(group, tuple) else (group,)
+            entry = dict(zip(names, key))
+            values = dict(state.groups[group])
+            if query.finalize is not None:
+                values = query.finalize(values)
+            entry.update(values)
+            rows.append(entry)
+        return rows
+    values = dict(state.values)
+    # A query whose filter matched nothing still yields one row of
+    # identities (SUM -> 0 / None, COUNT -> 0), like SQL scalar aggregates.
+    for agg in query.aggregates:
+        values.setdefault(agg.name, 0 if agg.kind in ("sum", "count")
+                          else None)
+    if query.finalize is not None:
+        values = query.finalize(values)
+    return [values]
+
+
+# --------------------------------------------------------------------------
+# Conventional (host) execution
+# --------------------------------------------------------------------------
+
+def host_query_process(db: "Database", query: Query,
+                       io_unit_pages: int = IO_UNIT_PAGES,
+                       window: int = PIPELINE_WINDOW,
+                       ) -> Generator[Event, None, QueryOutcome]:
+    """Run ``query`` conventionally: pages to the host, kernels on the host."""
+    table = db.catalog.table(query.table)
+    device = db.device(table.device_name)
+    outcome = QueryOutcome(rows=None)
+
+    hash_table = None
+    large_table = False
+    if query.join is not None:
+        build_table = db.catalog.table(query.join.build_table)
+        estimate = estimated_hash_table_nbytes(build_table.heap, query)
+        large_table = estimate > db.costs.host_cache_nbytes
+        collector = BuildCollector(build_table.schema, query.join)
+        build_device = db.device(build_table.device_name)
+        for lpns in unit_lpn_runs(build_table.heap, io_unit_pages):
+            pages = yield from _fetch_unit(db, build_device,
+                                           build_table, lpns, outcome)
+            counters = WorkCounters()
+            counters.io_units += 1
+            collector.consume(pages, counters, build_table.layout)
+            yield from db.machine.compute(
+                db.costs.cycles(counters, large_hash_table=large_table))
+            outcome.counters.add(counters)
+        hash_table = collector.finish()
+
+    kernel = PageKernel(query, table.schema, table.layout,
+                        hash_table=hash_table)
+    window_gate = Resource(db.sim, window, name="host-scan-window")
+    select_mode = bool(query.select)
+    agg_total = AggState()
+    unit_runs = unit_lpn_runs(table.heap, io_unit_pages)
+    chunk_slots: list[Optional[list[dict[str, np.ndarray]]]] = (
+        [None] * len(unit_runs))
+
+    def unit_process(index: int, lpns: list[int]):
+        yield window_gate.request()
+        try:
+            pages = yield from _fetch_unit(db, device, table, lpns, outcome)
+            counters = WorkCounters()
+            counters.io_units += 1
+            out_chunks = []
+            for page in pages:
+                partial = kernel.process_page(page)
+                counters.add(partial.counters)
+                if select_mode:
+                    out_chunks.append(partial.columns)
+                else:
+                    agg_total.merge(partial.agg, query.aggregates)
+            yield from db.machine.compute(
+                db.costs.cycles(counters, large_hash_table=large_table))
+            outcome.counters.add(counters)
+            if select_mode:
+                chunk_slots[index] = out_chunks
+        finally:
+            window_gate.release()
+
+    processes = [db.sim.process(unit_process(i, lpns),
+                                name=f"host-scan-unit-{i}")
+                 for i, lpns in enumerate(unit_runs)]
+    yield db.sim.all_of(processes)
+
+    if select_mode:
+        flat = [chunk for slot in chunk_slots for chunk in (slot or [])]
+        outcome.rows = _merge_select_chunks(query, flat)
+    else:
+        outcome.rows = _finalize_aggregates(query, agg_total)
+    return outcome
+
+
+def _fetch_unit(db: "Database", device: Any, table: Table,
+                lpns: list[int], outcome: QueryOutcome
+                ) -> Generator[Event, None, list[bytes]]:
+    """Read one I/O unit through the buffer pool."""
+    pages: list[Optional[bytes]] = []
+    miss_lpns = []
+    for lpn in lpns:
+        cached = db.buffer_pool.lookup(table.device_name, lpn)
+        if cached is None:
+            miss_lpns.append(lpn)
+            outcome.bp_misses += 1
+        else:
+            outcome.bp_hits += 1
+        pages.append(cached)
+    if miss_lpns:
+        fetched = yield from device.host_read(miss_lpns)
+        outcome.pages_read += len(miss_lpns)
+        fetched_iter = iter(fetched)
+        for position, page in enumerate(pages):
+            if page is None:
+                data = next(fetched_iter)
+                pages[position] = data
+                db.buffer_pool.insert(table.device_name,
+                                      lpns[position], data)
+    return pages  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------
+# Pushdown (Smart SSD) execution
+# --------------------------------------------------------------------------
+
+def smart_query_process(db: "Database", query: Query,
+                        io_unit_pages: int = IO_UNIT_PAGES,
+                        window: int = PIPELINE_WINDOW,
+                        ) -> Generator[Event, None, QueryOutcome]:
+    """Run ``query`` inside the Smart SSD via OPEN/GET/CLOSE."""
+    table = db.catalog.table(query.table)
+    device = db.device(table.device_name)
+    if not isinstance(device, SmartSsd):
+        raise PlanError(
+            f"device {table.device_name!r} is not a Smart SSD; "
+            "pushdown impossible")
+    _check_pushdown_safety(db, table)
+
+    arguments: dict[str, Any] = {
+        "query": query,
+        "heap": table.heap,
+        "io_unit_pages": io_unit_pages,
+        "window": window,
+    }
+    if query.join is not None:
+        build_table = db.catalog.table(query.join.build_table)
+        if build_table.device_name != table.device_name:
+            raise PlanError(
+                "pushdown join requires both tables on the same device")
+        _check_pushdown_safety(db, build_table)
+        arguments["build_heap"] = build_table.heap
+        program = "hash_join"
+    elif query.aggregates:
+        program = "aggregate"
+    else:
+        program = "scan_filter"
+
+    outcome = QueryOutcome(rows=None)
+    session_id = yield from device.open_session(
+        OpenParams(program=program, arguments=arguments))
+
+    payload: list[Any] = []
+    while True:
+        response = yield from device.get(session_id)
+        payload.extend(response.payload)
+        if response.status is SessionStatus.FAILED:
+            error = response.error
+            yield from device.close_session(session_id)
+            raise ProtocolError(f"device program failed: {error}")
+        if response.status is SessionStatus.DONE and not response.payload:
+            break
+    # Session counters describe work done *inside* the device; grab them
+    # before CLOSE tears the session down.
+    outcome.counters = device.runtime.session(session_id).counters
+    yield from device.close_session(session_id)
+
+    if query.select:
+        payload.sort(key=lambda item: item[0])
+        flat = [chunk for __, chunks in payload for chunk in chunks]
+        outcome.rows = _merge_select_chunks(query, flat)
+    else:
+        state = AggState()
+        for tag, partial_state in payload:
+            if tag != "agg":
+                raise ProtocolError(f"unexpected GET payload tag {tag!r}")
+            state.merge(partial_state, query.aggregates)
+        # Final merge/divide happens on the host, but it is a handful of
+        # scalar operations.
+        yield from db.machine.compute(db.costs.page_setup)
+        outcome.rows = _finalize_aggregates(query, state)
+    outcome.pages_read = (table.page_count
+                          + (db.catalog.table(query.join.build_table).page_count
+                             if query.join else 0))
+    return outcome
+
+
+def _check_pushdown_safety(db: "Database", table: Table) -> None:
+    """Veto pushdown when the buffer pool holds newer (dirty) pages.
+
+    "If there is a copy of the data in the buffer pool that is more current
+    than the data in the SSD, pushing the query processing to the SSD may
+    not be feasible" (§4.3).
+    """
+    dirty = db.buffer_pool.dirty_lpns(table.device_name)
+    if not dirty:
+        return
+    extent = range(table.heap.first_lpn,
+                   table.heap.first_lpn + table.heap.page_count)
+    stale = dirty.intersection(extent)
+    if stale:
+        raise PlanError(
+            f"pushdown unsafe: {len(stale)} dirty page(s) of "
+            f"{table.name!r} in the buffer pool are newer than the device")

@@ -1,0 +1,43 @@
+"""The host machine: CPU complex and power parameters.
+
+Matches the paper's testbed (§4.1.2): two quad-core Intel Xeon E5606
+sockets, 32 GB of DRAM (24 GB dedicated to the DBMS), whole-server idle
+draw of 235 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.costs import HOST_CPU, CpuSpec
+from repro.model.energy import SystemPowerSpec
+from repro.sim import Event, Resource, Simulator, seize
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host hardware configuration."""
+
+    cpu: CpuSpec = HOST_CPU
+    dram_nbytes: int = 32 * GIB
+    buffer_pool_nbytes: int = 24 * GIB
+    power: SystemPowerSpec = field(default_factory=SystemPowerSpec)
+
+
+class HostMachine:
+    """Simulated host: a multi-core CPU resource plus configuration."""
+
+    def __init__(self, sim: Simulator, spec: HostSpec | None = None):
+        self.sim = sim
+        self.spec = spec or HostSpec()
+        self.cpu = Resource(sim, self.spec.cpu.cores, name="host-cpu")
+
+    def compute(self, raw_cycles: float):
+        """Process-composable: run priced work on one host core."""
+        hold = self.spec.cpu.core_seconds(raw_cycles)
+        return seize(self.cpu, hold)
+
+    def cpu_core_seconds(self) -> float:
+        """Total core-seconds of host CPU consumed so far."""
+        return self.cpu.busy.busy_time(self.sim.now)

@@ -1,0 +1,78 @@
+"""Plan rendering: textual versions of the paper's Figures 4 and 6.
+
+The paper presents its pushdown plans as diagrams — the host collecting
+output from a device-resident subtree of scan / filter / hash-join /
+aggregate operators. :func:`explain` renders the same structure for any
+supported query and placement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.plans import Query
+
+if TYPE_CHECKING:
+    from repro.host.db import Database
+
+
+def explain(db: "Database", query: Query, placement: str = "smart") -> str:
+    """Render the physical plan as an indented operator tree."""
+    table = db.catalog.table(query.table)
+    side = "DEVICE" if placement == "smart" else "HOST"
+    lines = [f"{query.name} (placement={placement}, "
+             f"device={table.device_name}, layout={table.layout.value})"]
+
+    if placement == "smart":
+        lines.append("└─ HOST: collect results (GET loop) + finalize")
+        prefix = "   "
+        program = ("hash_join" if query.join is not None
+                   else "aggregate" if query.aggregates else "scan_filter")
+        lines.append(f"{prefix}└─ OPEN session: program={program!r}")
+        prefix += "   "
+    else:
+        lines.append("└─ HOST: execute plan over buffer pool")
+        prefix = "   "
+
+    if query.limit is not None or query.order_by is not None:
+        direction = "DESC" if query.descending else "ASC"
+        limit = f" LIMIT {query.limit}" if query.limit is not None else ""
+        lines.append(f"{prefix}└─ HOST: sort [{query.order_by} "
+                     f"{direction}]{limit} (device keeps page-local top-N)")
+        prefix += "   "
+    if query.aggregates:
+        aggs = ", ".join(f"{a.kind.upper()}({a.name})"
+                         for a in query.aggregates)
+        group = (f" GROUP BY {query.group_by_columns}"
+                 if query.group_by else "")
+        lines.append(f"{prefix}└─ {side}: aggregate [{aggs}]{group}")
+        prefix += "   "
+    elif query.select:
+        names = ", ".join(name for name, __ in query.select)
+        distinct = "distinct " if query.distinct else ""
+        lines.append(f"{prefix}└─ {side}: {distinct}project [{names}]")
+        prefix += "   "
+
+    if query.join is not None:
+        build = db.catalog.table(query.join.build_table)
+        lines.append(
+            f"{prefix}└─ {side}: hash join "
+            f"({query.table}.{query.join.probe_key} = "
+            f"{query.join.build_table}.{query.join.build_key})")
+        child = prefix + "   "
+        lines.append(f"{child}├─ probe: "
+                     + _scan_line(side, query, table))
+        lines.append(
+            f"{child}└─ build: {side}: hash build <- scan "
+            f"{build.name} ({build.layout.value}, "
+            f"{build.page_count:,} pages, {build.tuple_count:,} rows)")
+    else:
+        lines.append(f"{prefix}└─ " + _scan_line(side, query, table))
+    return "\n".join(lines)
+
+
+def _scan_line(side: str, query: Query, table) -> str:
+    pred = f" filter [{query.predicate!r}]" if query.predicate is not None \
+        else ""
+    return (f"{side}:{pred} <- scan {table.name} ({table.layout.value}, "
+            f"{table.page_count:,} pages, {table.tuple_count:,} rows)")

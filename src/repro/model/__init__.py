@@ -1,0 +1,35 @@
+"""Timing, cost, and energy models.
+
+The functional executors (host and in-device) count the work they really do
+— tuples parsed, values extracted, predicates evaluated, hash probes — in a
+:class:`~repro.model.counters.WorkCounters`. The calibrated
+:class:`~repro.model.costs.CycleCosts` converts counters into CPU cycles;
+CPU specs convert cycles into core-seconds charged on simulated CPU
+resources. :class:`~repro.model.energy.EnergyMeter` integrates component
+power states over virtual time. :mod:`repro.model.analytic` provides the
+closed-form pipeline model used for paper-scale (SF-100) extrapolation.
+"""
+
+from repro.model.counters import WorkCounters
+from repro.model.costs import (
+    DEVICE_CPU,
+    HOST_CPU,
+    CycleCosts,
+    CpuSpec,
+    DEFAULT_COSTS,
+)
+from repro.model.energy import EnergyMeter, SystemEnergy, SystemPowerSpec
+from repro.model.report import ExecutionReport
+
+__all__ = [
+    "CpuSpec",
+    "CycleCosts",
+    "DEFAULT_COSTS",
+    "DEVICE_CPU",
+    "EnergyMeter",
+    "ExecutionReport",
+    "HOST_CPU",
+    "SystemEnergy",
+    "SystemPowerSpec",
+    "WorkCounters",
+]

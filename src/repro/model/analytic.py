@@ -1,0 +1,97 @@
+"""Closed-form pipeline model for paper-scale extrapolation.
+
+A table scan (with or without pushdown) is a pipeline over I/O units; its
+steady-state elapsed time is the maximum of the stage times, plus a fill
+latency that vanishes for large scans. The DES produces the same numbers
+mechanistically on scaled-down data (tests assert agreement within a few
+percent); this module evaluates the formula directly so experiments can
+report SF-100 numbers next to the paper's.
+
+Stages:
+
+* ``flash``      — aggregate channel time to sense+transfer the heap bytes;
+* ``dram_bus``   — heap bytes DMA'd in, plus CPU-touched bytes, plus result
+                   bytes staged out (Smart path only for the latter two);
+* ``interface``  — heap bytes out (conventional) or result bytes out (Smart);
+* ``cpu``        — priced work, spread over the executing CPU's cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.hdd import HddSpec
+from repro.flash.ssd import SsdSpec
+from repro.model.costs import CpuSpec
+
+
+@dataclass(frozen=True)
+class ScanJobModel:
+    """Scale-free description of one table-scan-shaped job."""
+
+    data_nbytes: float          # heap bytes read from the medium
+    touched_nbytes: float       # page bytes the processing CPU actually reads
+    result_nbytes: float        # result bytes shipped to the host
+    device_raw_cycles: float    # priced work if executed in the device
+    host_raw_cycles: float      # priced work if executed on the host
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage seconds; the bottleneck is the elapsed-time estimate."""
+
+    flash: float = 0.0
+    dram_bus: float = 0.0
+    interface: float = 0.0
+    cpu: float = 0.0
+    positioning: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Pipeline elapsed time: the slowest stage plus fixed latency."""
+        return (max(self.flash, self.dram_bus, self.interface, self.cpu)
+                + self.positioning)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the binding stage."""
+        stages = {"flash": self.flash, "dram_bus": self.dram_bus,
+                  "interface": self.interface, "cpu": self.cpu}
+        return max(stages, key=stages.get)
+
+
+def _aggregate_channel_rate(spec: SsdSpec) -> float:
+    occupancy = spec.timing.channel_occupancy_per_read(spec.geometry)
+    return spec.geometry.channels * spec.geometry.page_nbytes / occupancy
+
+
+def smart_scan_times(job: ScanJobModel, spec: SsdSpec,
+                     cpu: CpuSpec) -> StageTimes:
+    """Stage times for in-device (Smart SSD) execution."""
+    flash = job.data_nbytes / _aggregate_channel_rate(spec)
+    bus = (job.data_nbytes + job.touched_nbytes
+           + job.result_nbytes) / spec.dram_bus_rate
+    interface = job.result_nbytes / spec.interface.effective_rate
+    cpu_time = cpu.core_seconds(job.device_raw_cycles) / cpu.cores
+    return StageTimes(flash=flash, dram_bus=bus, interface=interface,
+                      cpu=cpu_time)
+
+
+def host_scan_times_ssd(job: ScanJobModel, spec: SsdSpec,
+                        cpu: CpuSpec) -> StageTimes:
+    """Stage times for conventional execution over an SSD."""
+    flash = job.data_nbytes / _aggregate_channel_rate(spec)
+    bus = job.data_nbytes / spec.dram_bus_rate
+    interface = job.data_nbytes / spec.interface.effective_rate
+    cpu_time = cpu.core_seconds(job.host_raw_cycles) / cpu.cores
+    return StageTimes(flash=flash, dram_bus=bus, interface=interface,
+                      cpu=cpu_time)
+
+
+def host_scan_times_hdd(job: ScanJobModel, spec: HddSpec,
+                        cpu: CpuSpec) -> StageTimes:
+    """Stage times for conventional execution over the HDD baseline."""
+    interface = job.data_nbytes / spec.media_rate
+    cpu_time = cpu.core_seconds(job.host_raw_cycles) / cpu.cores
+    return StageTimes(interface=interface, cpu=cpu_time,
+                      positioning=spec.positioning_time)

@@ -1,0 +1,126 @@
+"""Calibrated cycle costs and CPU specifications.
+
+Every constant here is anchored to something the paper states or measures;
+the anchors are spelled out next to each value. The same costs price work on
+the host and on the device — the device is slower because its CPU is slower
+(3 usable ARM cores at 400 MHz vs. 8 Xeon cores at 2 GHz) and because its
+in-order, cache-poor cores burn more cycles per work item
+(``efficiency_factor``). That asymmetry is the paper's central tension: the
+Smart SSD sits behind 2.8x more bandwidth but has ~40x less compute.
+
+Calibration anchors (the constants solve this system):
+
+* Q6 on the Smart SSD is CPU-bound at ~1.7x over the SAS SSD with PAX and
+  ~1.2x with NSM (Figure 3): fixes the per-tuple extract/parse/predicate
+  costs x ``efficiency_factor``.
+* The Fig-5 join reaches ~2.2x at 1% selectivity and saturates to ~1x at
+  100%: fixes the per-page setup cost and the probe/output costs into a
+  DRAM-resident table.
+* Q14 reaches only ~1.3x (Figure 7): fixes the cost of building a large
+  DRAM-resident hash table in the device (20M PART keys), the one piece of
+  work Q14 adds over Q6's scan shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.counters import WorkCounters
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Cycles per counted work item (before the CPU's efficiency factor)."""
+
+    nsm_tuple_parse: int = 11       # slot lookup + record-header walk
+    nsm_value_extract: int = 8      # strided field fetch inside a record
+    pax_value_extract: int = 4      # sequential minipage array access
+    predicate_eval: int = 7        # compare + branch
+    like_eval: int = 30             # LIKE 'prefix%' over a char column
+    arithmetic_op: int = 6          # one arithmetic node per tuple
+    hash_build_small: int = 60      # insert, table fits in device cache
+    hash_build_large: int = 620     # insert, DRAM-resident table (Q14 anchor)
+    hash_probe_small: int = 40      # lookup, cache-resident table
+    hash_probe_large: int = 56      # lookup, DRAM-resident table (Fig-5 anchor)
+    aggregate_update: int = 10      # accumulator += per aggregate
+    topn_candidate: int = 14        # bounded-heap offer per candidate row
+    distinct_candidate: int = 24    # hash-set probe+insert per candidate row
+    output_value_copy: int = 8      # materialize one result value
+    page_setup: int = 1230           # fixed per-page parse/setup
+    io_unit_overhead_cycles: int = 12_000  # per-I/O-unit submission path
+    # (12k raw cycles = 120 us of one 400 MHz core at the device's 4x
+    # efficiency factor: command handling, completion, GET-poll servicing —
+    # the firmware overhead the paper's §5 complains about.)
+
+    #: Hash tables larger than this count as DRAM-resident on the device.
+    device_cache_nbytes: int = 4 * MIB
+
+    #: Hash tables larger than this count as DRAM-resident on the host
+    #: (two 6 MB L2 complexes on the paper's Xeon E5606 pair).
+    host_cache_nbytes: int = 12 * MIB
+
+    def cycles(self, counters: WorkCounters,
+               large_hash_table: bool = False) -> float:
+        """Price a counter set in raw (pre-efficiency-factor) cycles."""
+        build = (self.hash_build_large if large_hash_table
+                 else self.hash_build_small)
+        probe = (self.hash_probe_large if large_hash_table
+                 else self.hash_probe_small)
+        return (
+            counters.pages_parsed * self.page_setup
+            + counters.nsm_tuples_parsed * self.nsm_tuple_parse
+            + counters.nsm_values_extracted * self.nsm_value_extract
+            + counters.pax_values_extracted * self.pax_value_extract
+            + counters.predicates_evaluated * self.predicate_eval
+            + counters.like_evaluated * self.like_eval
+            + counters.arithmetic_ops * self.arithmetic_op
+            + counters.hash_builds * build
+            + counters.hash_probes * probe
+            + counters.aggregate_updates * self.aggregate_update
+            + counters.topn_candidates * self.topn_candidate
+            + counters.distinct_candidates * self.distinct_candidate
+            + counters.output_values * self.output_value_copy
+            + counters.io_units * self.io_unit_overhead_cycles
+        )
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU complex: identical cores sharing a work queue.
+
+    ``efficiency_factor`` scales raw cycle costs upward for weaker
+    microarchitectures (in-order, small caches, no SIMD).
+    """
+
+    name: str
+    cores: int
+    hz: float
+    efficiency_factor: float = 1.0
+    active_delta_w: float = 0.0  # added power when one core is busy
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Total effective cycles/second across all cores."""
+        return self.cores * self.hz / self.efficiency_factor
+
+    def core_seconds(self, raw_cycles: float) -> float:
+        """Single-core busy time to retire ``raw_cycles`` of priced work."""
+        return raw_cycles * self.efficiency_factor / self.hz
+
+
+#: The paper's host: two quad-core Xeon E5606 sockets at 2.13 GHz. The
+#: efficiency factor is 1.0 by definition — costs are priced in host cycles.
+HOST_CPU = CpuSpec(name="host-xeon", cores=8, hz=2.13e9,
+                   efficiency_factor=1.0, active_delta_w=16.0)
+
+#: The Smart SSD's embedded complex: "a low-powered 32-bit RISC processor,
+#: like an ARM series processor, which typically has multiple cores" (§2).
+#: Three cores are usable by sessions (one is pinned to FTL/host-interface
+#: duty); the 4.0 factor reflects in-order cores with tiny caches and is the
+#: knob calibrated against Figure 3's 1.7x.
+DEVICE_CPU = CpuSpec(name="device-arm", cores=3, hz=400e6,
+                     efficiency_factor=4.0, active_delta_w=0.8)
+
+#: Shared default cost table.
+DEFAULT_COSTS = CycleCosts()

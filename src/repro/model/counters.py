@@ -1,0 +1,53 @@
+"""Work counters: the executors' exact record of the work they performed.
+
+Every kernel (filter, probe, aggregate...) increments these counters from
+the *actual* data it processed — predicate pass rates, short-circuit counts,
+and probe counts come out of the real tuples, not estimates. The cost model
+then prices the counters in CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class WorkCounters:
+    """Counts of priced work items.
+
+    NSM and PAX accesses are counted separately because record-oriented
+    (strided) access costs more cycles per value than minipage (sequential
+    array) access — the locality mechanism behind the paper's NSM/PAX gap.
+    """
+
+    pages_parsed: int = 0           # pages whose header/directory was decoded
+    nsm_tuples_parsed: int = 0      # record headers walked in NSM pages
+    nsm_values_extracted: int = 0   # field fetches from NSM records
+    pax_values_extracted: int = 0   # values read from PAX minipages
+    predicates_evaluated: int = 0   # comparison predicates, post short-circuit
+    like_evaluated: int = 0         # LIKE 'prefix%' string compares
+    arithmetic_ops: int = 0         # arithmetic expression nodes evaluated
+    hash_builds: int = 0            # hash-table inserts
+    hash_probes: int = 0            # hash-table lookups
+    aggregate_updates: int = 0      # accumulator updates
+    topn_candidates: int = 0        # rows offered to a top-N heap
+    distinct_candidates: int = 0    # rows offered to a DISTINCT hash set
+    output_values: int = 0          # values materialized into result tuples
+    io_units: int = 0               # I/O-unit submissions (protocol overhead)
+
+    def add(self, other: "WorkCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for field in fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+    def scaled(self, factor: float) -> "WorkCounters":
+        """A copy with every count multiplied by ``factor`` (extrapolation)."""
+        return WorkCounters(**{
+            field.name: int(round(getattr(self, field.name) * factor))
+            for field in fields(self)
+        })
+
+    def total_events(self) -> int:
+        """Sum of all counters (useful as a sanity signal in tests)."""
+        return sum(getattr(self, field.name) for field in fields(self))

@@ -1,0 +1,102 @@
+"""Energy accounting (paper §4.2.3, Table 3).
+
+The paper measures wall-socket energy for the entire server and separately
+for the I/O subsystem, and reports a 235 W idle base. The meter reproduces
+that decomposition:
+
+* **entire system** = idle base x elapsed + host-CPU active energy + every
+  device's above-idle energy;
+* **I/O subsystem** = each device's full energy (idle + active deltas).
+
+Device activity is read from the busy-time integrals of the simulated
+resources: the DRAM bus and host interface for flash work, per-core busy
+time for the in-device CPU, the actuator for the HDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SystemPowerSpec:
+    """Host-side power parameters.
+
+    ``idle_w`` is the whole-server idle draw including idle devices — the
+    paper's 235 W. ``host_cpu_active_delta_w`` is the extra draw per busy
+    host core.
+    """
+
+    idle_w: float = 235.0
+    host_cpu_active_delta_w: float = 16.0
+
+
+@dataclass
+class DeviceActivity:
+    """One device's busy-time summary for the meter."""
+
+    name: str
+    idle_w: float
+    active_delta_w: float     # above idle while moving data
+    io_busy_seconds: float    # time spent moving data
+    cpu_active_delta_w: float = 0.0
+    cpu_busy_core_seconds: float = 0.0
+
+    def energy_j(self, elapsed: float) -> float:
+        """Total device energy over the run (idle + active)."""
+        return (self.idle_w * elapsed
+                + self.active_delta_w * min(self.io_busy_seconds, elapsed)
+                + self.cpu_active_delta_w * self.cpu_busy_core_seconds)
+
+    def active_energy_j(self, elapsed: float) -> float:
+        """Device energy above its idle floor."""
+        return self.energy_j(elapsed) - self.idle_w * elapsed
+
+
+@dataclass
+class SystemEnergy:
+    """Energy report for one query execution."""
+
+    elapsed_seconds: float
+    entire_system_j: float
+    io_subsystem_j: float
+    host_cpu_j: float
+    device_j: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def entire_system_kj(self) -> float:
+        """Entire-system energy in kJ (Table 3's unit)."""
+        return self.entire_system_j / 1000.0
+
+    @property
+    def io_subsystem_kj(self) -> float:
+        """I/O-subsystem energy in kJ (Table 3's unit)."""
+        return self.io_subsystem_j / 1000.0
+
+    def over_idle_j(self, idle_w: float) -> float:
+        """Energy above the idle base (the paper's 12.4x/2.3x view)."""
+        return self.entire_system_j - idle_w * self.elapsed_seconds
+
+
+class EnergyMeter:
+    """Integrates component power over one simulated execution."""
+
+    def __init__(self, spec: SystemPowerSpec | None = None):
+        self.spec = spec or SystemPowerSpec()
+
+    def measure(self, elapsed: float, host_cpu_core_seconds: float,
+                devices: list[DeviceActivity]) -> SystemEnergy:
+        """Produce the Table-3 decomposition for one run."""
+        host_cpu_j = self.spec.host_cpu_active_delta_w * host_cpu_core_seconds
+        io_j = sum(device.energy_j(elapsed) for device in devices)
+        active_device_j = sum(device.active_energy_j(elapsed)
+                              for device in devices)
+        entire_j = self.spec.idle_w * elapsed + host_cpu_j + active_device_j
+        return SystemEnergy(
+            elapsed_seconds=elapsed,
+            entire_system_j=entire_j,
+            io_subsystem_j=io_j,
+            host_cpu_j=host_cpu_j,
+            device_j={device.name: device.energy_j(elapsed)
+                      for device in devices},
+        )

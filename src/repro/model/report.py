@@ -1,0 +1,69 @@
+"""Execution reports: what a query run cost and why."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.model.counters import WorkCounters
+from repro.model.energy import SystemEnergy
+from repro.units import fmt_seconds
+
+
+@dataclass
+class IoStats:
+    """Data-movement summary of one execution."""
+
+    pages_read_device: int = 0     # pages read from the medium
+    bytes_over_interface: int = 0  # bytes that crossed the host interface
+    bytes_over_dram_bus: int = 0   # bytes that crossed the device DRAM bus
+    buffer_pool_hits: int = 0
+    buffer_pool_misses: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Result + accounting for one query execution."""
+
+    rows: np.ndarray | list[tuple[Any, ...]]
+    elapsed_seconds: float
+    placement: str                        # "host" or "smart"
+    device_name: str
+    layout: str
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    io: IoStats = field(default_factory=IoStats)
+    energy: Optional[SystemEnergy] = None
+    host_cpu_core_seconds: float = 0.0
+    device_cpu_core_seconds: float = 0.0
+    utilization: dict[str, float] = field(default_factory=dict)
+    plan_text: str = ""
+
+    @property
+    def row_count(self) -> int:
+        """Number of result rows."""
+        return len(self.rows)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the run."""
+        lines = [
+            f"{self.placement} execution on {self.device_name} "
+            f"({self.layout}): {fmt_seconds(self.elapsed_seconds)}, "
+            f"{self.row_count} result rows",
+            f"  pages read: {self.io.pages_read_device:,}; interface bytes: "
+            f"{self.io.bytes_over_interface:,}",
+            f"  host CPU: {self.host_cpu_core_seconds:.2f} core-s; "
+            f"device CPU: {self.device_cpu_core_seconds:.2f} core-s",
+        ]
+        if self.energy is not None:
+            lines.append(
+                f"  energy: {self.energy.entire_system_kj:.2f} kJ system, "
+                f"{self.energy.io_subsystem_kj:.3f} kJ I/O subsystem")
+        if self.utilization:
+            busiest = sorted(self.utilization.items(),
+                             key=lambda kv: kv[1], reverse=True)
+            rendered = ", ".join(f"{name} {value:.0%}"
+                                 for name, value in busiest)
+            lines.append(f"  utilization: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+A small SimPy-like engine: generator-based processes yield
+:class:`~repro.sim.engine.Event` objects and are resumed when those events
+fire. Shared hardware (flash channels, the device DRAM bus, the host
+interface, CPU cores) is modeled with :class:`~repro.sim.resources.Resource`
+and :class:`~repro.sim.resources.Bandwidth`, both of which track busy-time
+integrals so utilization and energy can be derived after a run.
+"""
+
+from repro.sim.engine import Event, Process, Simulator
+from repro.sim.resources import Bandwidth, Resource, seize
+from repro.sim.stats import BusyTracker
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "Bandwidth",
+    "BusyTracker",
+    "Event",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Tracer",
+    "seize",
+]

@@ -1,0 +1,230 @@
+"""Event loop and process machinery for the simulation kernel.
+
+The design is a deliberately small subset of SimPy:
+
+* :class:`Simulator` owns virtual time and a priority queue of pending work.
+* :class:`Event` is a one-shot occurrence; callbacks run when it settles.
+* :class:`Process` wraps a generator. The generator yields events; the
+  process resumes with the event's value when the event fires. A process is
+  itself an event that succeeds with the generator's return value, so
+  processes can wait on each other and compose with ``yield from``.
+
+Determinism: work scheduled for the same instant runs in scheduling order
+(a monotonically increasing sequence number breaks ties), so simulations are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Type of the generators that drive processes.
+ProcessGenerator = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`Simulator`.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) settles it
+    exactly once, after which its callbacks are scheduled to run at the
+    current simulation instant.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been settled (succeeded or failed)."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True when the event settled successfully."""
+        return self.triggered and self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event settled with (raises if still pending)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value read before it triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Settle the event successfully, scheduling its callbacks."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.sim._push(self.sim.now, self._run_callbacks)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Settle the event with an exception; waiters will re-raise it."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._ok = False
+        self._value = exception
+        self.sim._push(self.sim.now, self._run_callbacks)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+
+class Process(Event):
+    """A running generator coroutine, itself awaitable as an event.
+
+    The wrapped generator yields :class:`Event` instances. When a yielded
+    event succeeds, the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator. When the generator
+    returns, the process event succeeds with the return value.
+    """
+
+    __slots__ = ("name", "_generator")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "process"):
+        super().__init__(sim)
+        self.name = name
+        self._generator = generator
+        sim._push(sim.now, self._start)
+
+    def _start(self) -> None:
+        self._step(send_value=None, throw=None)
+
+    def _resume(self, event: Event) -> None:
+        if event.ok:
+            self._step(send_value=event.value, throw=None)
+        else:
+            self._step(send_value=None, throw=event.value)
+
+    def _step(self, send_value: Any, throw: Optional[BaseException]) -> None:
+        try:
+            if throw is None:
+                target = self._generator.send(send_value)
+            else:
+                target = self._generator.throw(throw)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:  # propagate into waiters, or abort the run
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event")
+        if target.callbacks is None:
+            # Already fired and callbacks consumed: resume next tick.
+            self.sim._push(self.sim.now, lambda: self._resume(target))
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Owns virtual time and runs the event loop."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        #: Optional :class:`repro.sim.trace.Tracer`; when set, every
+        #: resource reports its level changes here.
+        self.tracer = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create a fresh, externally-triggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        event = Event(self)
+
+        def fire() -> None:
+            event._value = value
+            event._run_callbacks()
+
+        self._push(self._now + delay, fire)
+        return event
+
+    def process(self, generator: ProcessGenerator,
+                name: str = "process") -> Process:
+        """Start a generator as a process; returns the awaitable process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds once every given event has succeeded.
+
+        The gate's value is the list of the component events' values, in the
+        order given. If any component fails, the gate fails with that error.
+        """
+        events = list(events)
+        gate = Event(self)
+        if not events:
+            gate.succeed([])
+            return gate
+        values: list[Any] = [None] * len(events)
+        state = {"left": len(events)}
+
+        def arm(index: int, event: Event) -> None:
+            def on_done(ev: Event) -> None:
+                if not ev.ok:
+                    if not gate.triggered:
+                        gate.fail(ev.value)
+                    return
+                values[index] = ev.value
+                state["left"] -= 1
+                if state["left"] == 0 and not gate.triggered:
+                    gate.succeed(values)
+
+            if event.triggered:
+                on_done(event)
+            else:
+                event.callbacks.append(on_done)
+
+        for i, ev in enumerate(events):
+            arm(i, ev)
+        return gate
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or virtual time passes ``until``).
+
+        Returns the final virtual time.
+        """
+        while self._queue:
+            when, _seq, work = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            self._now = when
+            work()
+        return self._now
+
+    # -- internal ---------------------------------------------------------
+
+    def _push(self, when: float, work: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, work))

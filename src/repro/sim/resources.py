@@ -1,0 +1,140 @@
+"""Shared-hardware primitives: counted resources and bandwidth pipes.
+
+Simulated hardware contention all flows through two primitives:
+
+* :class:`Resource` — N interchangeable units granted FIFO (CPU cores,
+  flash channels). Holders acquire, hold for some service time, release.
+* :class:`Bandwidth` — a link that moves bytes at a fixed rate, one transfer
+  at a time (the device DRAM bus, the host interface). Serialization of
+  transfers is exactly how the paper describes the shared DRAM bus inside
+  the Samsung device ("data transfers from the flash channels to the DRAM
+  are serialized").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+from repro.sim.stats import BusyTracker
+
+
+class Resource:
+    """``capacity`` interchangeable units, granted in FIFO order."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource {name!r} needs capacity >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.busy = BusyTracker()
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that succeeds when a unit is granted to the caller."""
+        grant = self.sim.event()
+        if self._in_use < self.capacity:
+            self._take()
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one held unit; hands it to the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Unit changes hands: usage level is unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+            self.busy.adjust(self.sim.now, -1)
+            self._trace()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Average fraction of capacity in use so far."""
+        return self.busy.utilization(self.sim.now if now is None else now,
+                                     self.capacity)
+
+    def _take(self) -> None:
+        self._in_use += 1
+        self.busy.adjust(self.sim.now, +1)
+        self._trace()
+
+    def _trace(self) -> None:
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.record(self.name, self.sim.now, self._in_use)
+
+
+def seize(resource: Resource, hold_time: float) -> Generator[Event, None, None]:
+    """Acquire ``resource``, hold it for ``hold_time``, then release.
+
+    Use from inside a process as ``yield from seize(cpu, cycles / hz)``.
+    """
+    yield resource.request()
+    try:
+        yield resource.sim.timeout(hold_time)
+    finally:
+        resource.release()
+
+
+class Bandwidth:
+    """A link moving bytes at a fixed rate, one transfer at a time.
+
+    ``transfer(nbytes)`` is a process-composable generator: it waits for the
+    link, occupies it for ``nbytes / rate`` seconds, then releases it.
+    Back-to-back transfers therefore serialize, which is what makes a
+    capacity-1 :class:`Bandwidth` the right model for the paper's shared
+    device DRAM bus and for the host SAS link.
+    """
+
+    def __init__(self, sim: Simulator, bytes_per_second: float,
+                 name: str = "link"):
+        if bytes_per_second <= 0:
+            raise SimulationError(f"link {name!r} needs a positive rate")
+        self.sim = sim
+        self.rate = float(bytes_per_second)
+        self.name = name
+        self._lane = Resource(sim, 1, name=name)
+        self._bytes_moved = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes transferred so far."""
+        return self._bytes_moved
+
+    @property
+    def busy(self) -> BusyTracker:
+        """Busy tracker of the underlying lane."""
+        return self._lane.busy
+
+    def service_time(self, nbytes: int) -> float:
+        """Seconds the link is occupied moving ``nbytes``."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer on {self.name!r}")
+        return nbytes / self.rate
+
+    def transfer(self, nbytes: int) -> Generator[Event, None, None]:
+        """Move ``nbytes`` across the link (process-composable)."""
+        self._bytes_moved += nbytes
+        yield from seize(self._lane, self.service_time(nbytes))
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of time the link has been busy so far."""
+        return self._lane.utilization(now)

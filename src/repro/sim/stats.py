@@ -1,0 +1,46 @@
+"""Busy-time accounting for simulated hardware resources.
+
+Energy and utilization reporting both need "how many units of this resource
+were in use, integrated over virtual time". :class:`BusyTracker` maintains
+that integral incrementally as usage levels change.
+"""
+
+from __future__ import annotations
+
+
+class BusyTracker:
+    """Integrates a usage level (units in use) over virtual time."""
+
+    def __init__(self):
+        self._level = 0.0
+        self._last_change = 0.0
+        self._integral = 0.0
+
+    @property
+    def level(self) -> float:
+        """Units currently in use."""
+        return self._level
+
+    def set_level(self, now: float, level: float) -> None:
+        """Record that the usage level changed to ``level`` at time ``now``."""
+        self._integral += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = level
+
+    def adjust(self, now: float, delta: float) -> None:
+        """Change the usage level by ``delta`` at time ``now``."""
+        self.set_level(now, self._level + delta)
+
+    def busy_time(self, now: float) -> float:
+        """Unit-seconds of usage accumulated up to ``now``.
+
+        For a capacity-1 resource this is simply its busy time; for an
+        N-unit resource divide by N for average utilization.
+        """
+        return self._integral + self._level * (now - self._last_change)
+
+    def utilization(self, now: float, capacity: float) -> float:
+        """Average fraction of ``capacity`` in use over [0, now]."""
+        if now <= 0:
+            return 0.0
+        return self.busy_time(now) / (now * capacity)

@@ -1,0 +1,100 @@
+"""Optional resource tracing: utilization timelines for any simulation.
+
+Attach a :class:`Tracer` to a simulator before building devices::
+
+    sim = Simulator()
+    sim.tracer = Tracer()
+    ... run a query ...
+    print(sim.tracer.gantt(width=60))
+
+Every :class:`~repro.sim.resources.Resource` (and the lane inside every
+:class:`~repro.sim.resources.Bandwidth`) reports its level changes, so the
+tracer can reconstruct per-resource utilization over time — the "why is
+the device CPU the bottleneck" picture behind the paper's §4.2 analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+#: Unicode blocks for utilization levels 0..8.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class LevelChange:
+    """One recorded usage-level change."""
+
+    time: float
+    level: float
+
+
+class Tracer:
+    """Records per-resource usage levels over virtual time."""
+
+    def __init__(self):
+        self._events: dict[str, list[LevelChange]] = defaultdict(list)
+
+    def record(self, resource: str, time: float, level: float) -> None:
+        """Record that ``resource``'s in-use level changed at ``time``."""
+        self._events[resource].append(LevelChange(time=time, level=level))
+
+    def resources(self) -> list[str]:
+        """Names of every traced resource, sorted."""
+        return sorted(self._events)
+
+    def events(self, resource: str) -> list[LevelChange]:
+        """The raw level-change sequence of one resource."""
+        return list(self._events.get(resource, ()))
+
+    def busy_fraction(self, resource: str, start: float, end: float,
+                      capacity: float = 1.0) -> float:
+        """Average utilization of ``resource`` over [start, end)."""
+        if end <= start:
+            return 0.0
+        integral = 0.0
+        level = 0.0
+        cursor = start
+        for change in self._events.get(resource, ()):
+            when = min(max(change.time, start), end)
+            if when > cursor:
+                integral += level * (when - cursor)
+                cursor = when
+            if change.time <= end:
+                level = change.level
+        integral += level * (end - cursor)
+        return integral / ((end - start) * capacity)
+
+    def timeline(self, resource: str, start: float, end: float,
+                 buckets: int, capacity: float = 1.0) -> list[float]:
+        """Per-bucket average utilization across [start, end)."""
+        if buckets < 1 or end <= start:
+            return []
+        width = (end - start) / buckets
+        return [self.busy_fraction(resource, start + i * width,
+                                   start + (i + 1) * width, capacity)
+                for i in range(buckets)]
+
+    def gantt(self, start: float = 0.0, end: float | None = None,
+              width: int = 60,
+              capacities: dict[str, float] | None = None) -> str:
+        """ASCII utilization chart, one row per resource."""
+        if end is None:
+            end = max((events[-1].time
+                       for events in self._events.values() if events),
+                      default=0.0)
+        if end <= start:
+            return "(no traced activity)"
+        capacities = capacities or {}
+        label_width = max((len(name) for name in self._events), default=4)
+        lines = [f"{'resource':<{label_width}}  "
+                 f"[{start:.4g}s .. {end:.4g}s]"]
+        for name in self.resources():
+            capacity = capacities.get(name, 1.0)
+            cells = self.timeline(name, start, end, width, capacity)
+            bar = "".join(
+                _BLOCKS[min(8, max(0, round(value * 8)))] for value in cells)
+            mean = self.busy_fraction(name, start, end, capacity)
+            lines.append(f"{name:<{label_width}}  {bar}  {mean:>4.0%}")
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""A coordinated array of Smart SSDs (paper §4.3's design endpoint).
+
+"At the extreme end of this spectrum, the host machine could simply be the
+coordinator that stages computation across an array of Smart SSDs, making
+the system look like a parallel DBMS with the master node being the host
+server, and the worker nodes in the parallel system being the Smart SSDs."
+
+:class:`SmartSsdArray` implements that endpoint for the supported query
+class: a table is hash/round-robin partitioned across the devices at load
+time; a query OPENs one session per device, the partial results are merged
+on the host, and scalar aggregates are combined exactly as a parallel DBMS
+exchange operator would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.sim import Simulator
+from repro.smart.device import SmartSsd, SmartSsdSpec
+from repro.storage import HeapFile, Layout, Schema, build_heap_pages
+
+
+@dataclass(frozen=True)
+class PartitionedTable:
+    """One logical relation spread across the array's devices."""
+
+    name: str
+    schema: Schema
+    layout: Layout
+    heaps: tuple[HeapFile, ...]  # one per device, index-aligned
+
+    @property
+    def tuple_count(self) -> int:
+        """Total live tuples across all partitions."""
+        return sum(heap.tuple_count for heap in self.heaps)
+
+
+class SmartSsdArray:
+    """Round-robin-partitioned storage over N Smart SSDs."""
+
+    def __init__(self, sim: Simulator, device_count: int,
+                 spec: SmartSsdSpec | None = None):
+        if device_count < 1:
+            raise PlanError("array needs at least one device")
+        self.sim = sim
+        base = spec or SmartSsdSpec()
+        self.devices = [
+            SmartSsd(sim, replace(base, name=f"{base.name}-{i}"))
+            for i in range(device_count)
+        ]
+        self._tables: dict[str, PartitionedTable] = {}
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def load_partitioned(self, name: str, schema: Schema, layout: Layout,
+                         rows: np.ndarray,
+                         table_id: int = 0) -> PartitionedTable:
+        """Stripe rows round-robin across the devices (untimed staging)."""
+        heaps = []
+        for index, device in enumerate(self.devices):
+            part_rows = rows[index::len(self.devices)]
+            pages = build_heap_pages(schema, part_rows, layout,
+                                     table_id=table_id)
+            first = device.load_extent(pages)
+            heaps.append(HeapFile(schema=schema, layout=layout,
+                                  first_lpn=first, page_count=len(pages),
+                                  tuple_count=len(part_rows),
+                                  table_id=table_id))
+        table = PartitionedTable(name=name, schema=schema, layout=layout,
+                                 heaps=tuple(heaps))
+        self._tables[name] = table
+        return table
+
+    def load_replicated(self, name: str, schema: Schema, layout: Layout,
+                        rows: np.ndarray,
+                        table_id: int = 0) -> PartitionedTable:
+        """Copy the full relation onto every device (dimension tables)."""
+        heaps = []
+        pages = build_heap_pages(schema, rows, layout, table_id=table_id)
+        for device in self.devices:
+            first = device.load_extent(pages)
+            heaps.append(HeapFile(schema=schema, layout=layout,
+                                  first_lpn=first, page_count=len(pages),
+                                  tuple_count=len(rows), table_id=table_id))
+        table = PartitionedTable(name=name, schema=schema, layout=layout,
+                                 heaps=tuple(heaps))
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> PartitionedTable:
+        """Look up a partitioned table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise PlanError(f"unknown partitioned table {name!r}") from None
+
+    # -- parallel execution ------------------------------------------------------
+
+    def execute(self, query) -> "ArrayResult":
+        """Run a query across every device in parallel and merge partials.
+
+        The host acts purely as the coordinator: it OPENs one session per
+        device, drains them with GET, and merges the partial aggregates or
+        row chunks — the "parallel DBMS" structure §4.3 sketches.
+        """
+        from repro.engine.kernels import AggState
+        from repro.errors import ProtocolError
+        from repro.smart.protocol import OpenParams, SessionStatus
+        from repro.smart.programs.base import (IO_UNIT_PAGES,
+                                               PIPELINE_WINDOW)
+
+        table = self.table(query.table)
+        build = self.table(query.join.build_table) if query.join else None
+        start = self.sim.now
+
+        def device_driver(index: int, device: SmartSsd):
+            arguments = {
+                "query": query,
+                "heap": table.heaps[index],
+                "io_unit_pages": IO_UNIT_PAGES,
+                "window": PIPELINE_WINDOW,
+            }
+            if build is not None:
+                arguments["build_heap"] = build.heaps[index]
+                program = "hash_join"
+            elif query.aggregates:
+                program = "aggregate"
+            else:
+                program = "scan_filter"
+            session_id = yield from device.open_session(
+                OpenParams(program=program, arguments=arguments))
+            payload = []
+            while True:
+                response = yield from device.get(session_id)
+                payload.extend(response.payload)
+                if response.status is SessionStatus.FAILED:
+                    yield from device.close_session(session_id)
+                    raise ProtocolError(
+                        f"worker {device.spec.name}: {response.error}")
+                if (response.status is SessionStatus.DONE
+                        and not response.payload):
+                    break
+            yield from device.close_session(session_id)
+            return payload
+
+        drivers = [self.sim.process(device_driver(i, device),
+                                    name=f"array-worker-{i}")
+                   for i, device in enumerate(self.devices)]
+        gate = self.sim.all_of(drivers)
+        self.sim.run()
+        if not gate.triggered:
+            raise PlanError("array query deadlocked")
+
+        state = AggState()
+        row_chunks = []
+        for payload in gate.value:
+            for tag, item in payload:
+                if tag == "agg":
+                    state.merge(item, query.aggregates)
+                else:
+                    row_chunks.extend(item)
+        rows: Any
+        if query.aggregates:
+            from repro.host.executor import _finalize_aggregates
+            rows = _finalize_aggregates(query, state)
+        else:
+            from repro.host.executor import _merge_select_chunks
+            rows = _merge_select_chunks(query, row_chunks)
+        return ArrayResult(rows=rows, elapsed_seconds=self.sim.now - start,
+                           device_count=len(self.devices))
+
+
+@dataclass
+class ArrayResult:
+    """Merged output of a partitioned execution."""
+
+    rows: Any
+    elapsed_seconds: float
+    device_count: int

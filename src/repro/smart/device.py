@@ -1,0 +1,109 @@
+"""The Smart SSD device: an SSD plus an embedded CPU and runtime.
+
+Extends :class:`~repro.flash.ssd.Ssd` with the paper's programmable side:
+a multi-core embedded CPU (charged through the calibrated cost model), the
+session runtime, and the timed host-facing OPEN/GET/CLOSE commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.flash.ssd import DevicePower, Ssd, SsdSpec
+from repro.model.costs import DEFAULT_COSTS, DEVICE_CPU, CpuSpec, CycleCosts
+from repro.sim import Event, Resource, Simulator, seize
+from repro.smart.protocol import (
+    COMMAND_FRAME_NBYTES,
+    GET_FRAME_NBYTES,
+    GetResponse,
+    OpenParams,
+    SessionStatus,
+)
+from repro.smart.programs import ProgramArguments, default_programs
+from repro.smart.runtime import SmartRuntime
+
+
+@dataclass(frozen=True)
+class SmartSsdSpec(SsdSpec):
+    """Smart SSD configuration: the base SSD plus the embedded complex.
+
+    The prototype is "a Smart SSD prototyped on the same SSD" as the SAS
+    baseline (§4.1.2), so the flash/interface defaults are inherited; only
+    the name, the programmable CPU, and the slightly higher active power
+    differ.
+    """
+
+    name: str = "smart-ssd"
+    cpu: CpuSpec = DEVICE_CPU
+    costs: CycleCosts = DEFAULT_COSTS
+    power: DevicePower = DevicePower(idle_w=1.5, active_w=8.5)
+
+
+class SmartSsd(Ssd):
+    """An SSD that runs uploaded query programs behind OPEN/GET/CLOSE."""
+
+    def __init__(self, sim: Simulator, spec: SmartSsdSpec | None = None):
+        spec = spec or SmartSsdSpec()
+        super().__init__(sim, spec)
+        self.spec: SmartSsdSpec = spec
+        self.cpu = Resource(sim, spec.cpu.cores,
+                            name=f"{spec.name}-cpu")
+        self.runtime = SmartRuntime(sim, self.dram)
+        for program in default_programs():
+            self.runtime.upload_program(program)
+
+    @property
+    def cpu_spec(self) -> CpuSpec:
+        """The embedded CPU's specification."""
+        return self.spec.cpu
+
+    @property
+    def costs(self) -> CycleCosts:
+        """The cycle-cost table used to price device work."""
+        return self.spec.costs
+
+    def compute(self, raw_cycles: float):
+        """Process-composable: run priced work on one embedded core."""
+        hold = self.spec.cpu.core_seconds(raw_cycles)
+        return seize(self.cpu, hold)
+
+    def cpu_core_seconds(self) -> float:
+        """Total embedded-CPU core-seconds consumed so far."""
+        return self.cpu.busy.busy_time(self.sim.now)
+
+    # -- host-facing protocol commands (timed) --------------------------------
+
+    def open_session(self, params: OpenParams
+                     ) -> Generator[Event, None, int]:
+        """OPEN: grant resources, start the program, return the session id."""
+        yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
+        session = self.runtime.open(params)
+        program = self.runtime.program(params.program)
+        args = ProgramArguments.from_open(params.arguments)
+        self.sim.process(program.run(self, session, args),
+                         name=f"{self.spec.name}-session-{session.id}")
+        return session.id
+
+    def get(self, session_id: int) -> Generator[Event, None, GetResponse]:
+        """GET: poll status and drain any staged results.
+
+        Blocks (as a modeling convenience standing in for a tuned host poll
+        loop) until the session has news: results to drain or a final
+        status.
+        """
+        yield from self.interface.transfer(GET_FRAME_NBYTES)
+        session = self.runtime.session(session_id)
+        if not session.has_news():
+            yield session.wait_news()
+        payload, nbytes = session.drain()
+        if nbytes:
+            yield from self.interface.transfer(nbytes)
+        return GetResponse(session_id=session_id, status=session.status,
+                           payload=payload, payload_nbytes=nbytes,
+                           error=session.error)
+
+    def close_session(self, session_id: int) -> Generator[Event, None, None]:
+        """CLOSE: tear the session down and release its grants."""
+        yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
+        self.runtime.close(session_id)

@@ -1,0 +1,25 @@
+"""The aggregation device program."""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.smart.programs.base import DeviceProgram, ProgramArguments
+
+
+class AggregateProgram(DeviceProgram):
+    """Scan + filter + aggregate: ships only the folded values to the host.
+
+    The paper's "aggregation" program (TPC-H Q6's placement). Shape: a
+    single table, an optional predicate, scalar or grouped aggregates,
+    no join.
+    """
+
+    name = "aggregate"
+
+    def validate(self, args: ProgramArguments) -> None:
+        query = args.query
+        if query.join is not None:
+            raise ProtocolError(
+                "aggregate cannot run joins; OPEN hash_join instead")
+        if not query.aggregates:
+            raise ProtocolError("aggregate needs at least one aggregate")

@@ -1,0 +1,230 @@
+"""Shared in-device execution engine for the uploaded programs.
+
+The engine runs a :class:`~repro.engine.plans.Query` entirely inside the
+device as a windowed pipeline over 32-page I/O units:
+
+1. the flash controller streams a unit into device DRAM (channels in
+   parallel, DMA serialized on the shared DRAM bus);
+2. the device CPU runs the page kernels — the *same* kernels the host
+   executor uses — re-crossing the DRAM bus for the page bytes it actually
+   touches (whole records under NSM, only the referenced minipages under
+   PAX);
+3. result bytes are staged in the session buffer for the host's GET polls.
+
+Join queries first stream the build table the same way and construct the
+hash table in device DRAM, after asking the runtime for a memory grant —
+which fails, exactly as the paper's §4.2.2 precondition implies, when the
+build side does not fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.engine.kernels import (
+    HASH_ENTRY_OVERHEAD,
+    AggState,
+    BuildCollector,
+    PageKernel,
+)
+from repro.engine.plans import Query
+from repro.errors import ProtocolError
+from repro.model.counters import WorkCounters
+from repro.sim import Event, Resource
+from repro.storage.heapfile import HeapFile
+
+if TYPE_CHECKING:
+    from repro.smart.device import SmartSsd
+    from repro.smart.runtime import Session
+
+#: Pages per I/O unit: the paper's Table 2 measures with 32-page (256 KB) I/Os.
+IO_UNIT_PAGES = 32
+
+#: In-flight I/O units per session (pipeline lookahead window).
+PIPELINE_WINDOW = 8
+
+#: Serialized size of one streamed result-chunk frame (headers etc.).
+RESULT_FRAME_NBYTES = 256
+
+#: Serialized size of a final aggregate value.
+AGG_VALUE_NBYTES = 16
+
+
+@dataclass(frozen=True)
+class ProgramArguments:
+    """Decoded OPEN arguments for the query programs."""
+
+    query: Query
+    heap: HeapFile
+    build_heap: Optional[HeapFile] = None
+    io_unit_pages: int = IO_UNIT_PAGES
+    window: int = PIPELINE_WINDOW
+
+    @classmethod
+    def from_open(cls, arguments: dict) -> "ProgramArguments":
+        """Validate and decode an OPEN command's argument dict."""
+        try:
+            query = arguments["query"]
+            heap = arguments["heap"]
+        except KeyError as exc:
+            raise ProtocolError(f"OPEN missing argument {exc}") from None
+        if not isinstance(query, Query):
+            raise ProtocolError("OPEN argument 'query' must be a Query")
+        if not isinstance(heap, HeapFile):
+            raise ProtocolError("OPEN argument 'heap' must be a HeapFile")
+        return cls(query=query, heap=heap,
+                   build_heap=arguments.get("build_heap"),
+                   io_unit_pages=arguments.get("io_unit_pages", IO_UNIT_PAGES),
+                   window=arguments.get("window", PIPELINE_WINDOW))
+
+
+class DeviceProgram:
+    """Base class of the uploadable programs."""
+
+    #: Program name used in OPEN commands.
+    name = "abstract"
+
+    def validate(self, args: ProgramArguments) -> None:
+        """Reject OPEN requests whose query shape this program can't run."""
+        raise NotImplementedError
+
+    def run(self, device: "SmartSsd", session: "Session",
+            args: ProgramArguments) -> Generator[Event, None, None]:
+        """The program's device-side process body.
+
+        Validation failures fail the *session* (surfaced to the host via
+        GET) rather than crashing the device.
+        """
+        try:
+            self.validate(args)
+        except Exception as exc:
+            session.fail(f"{type(exc).__name__}: {exc}")
+            return
+        yield from execute_query(device, session, args)
+
+
+def unit_lpn_runs(heap: HeapFile, unit_pages: int) -> list[list[int]]:
+    """Split a heap extent into I/O-unit LPN runs, in scan order."""
+    lpns = list(heap.lpns())
+    return [lpns[i:i + unit_pages] for i in range(0, len(lpns), unit_pages)]
+
+
+def estimated_hash_table_nbytes(build_heap: HeapFile, query: Query) -> int:
+    """Upper-bound resident size of the build table's hash table."""
+    spec = query.join
+    per_row = build_heap.schema.column(spec.build_key).nbytes
+    per_row += sum(build_heap.schema.column(n).nbytes for n in spec.payload)
+    per_row += HASH_ENTRY_OVERHEAD
+    return build_heap.tuple_count * per_row
+
+
+def execute_query(device: "SmartSsd", session: "Session",
+                  args: ProgramArguments) -> Generator[Event, None, None]:
+    """Run a query inside the device, streaming results into the session."""
+    try:
+        yield from _execute_query_body(device, session, args)
+    except Exception as exc:  # surfaced to the host through GET
+        session.fail(f"{type(exc).__name__}: {exc}")
+        return
+    session.finish()
+
+
+def _execute_query_body(device: "SmartSsd", session: "Session",
+                        args: ProgramArguments
+                        ) -> Generator[Event, None, None]:
+    query = args.query
+    heap = args.heap
+    costs = device.costs
+    sim = device.sim
+
+    # Phase 1: build the join hash table from the dimension heap.
+    hash_table = None
+    large_table = False
+    if query.join is not None:
+        if args.build_heap is None:
+            raise ProtocolError("join query OPENed without a build heap")
+        estimate = estimated_hash_table_nbytes(args.build_heap, query)
+        device.runtime.grant_memory(session, estimate)
+        large_table = estimate > costs.device_cache_nbytes
+        collector = BuildCollector(args.build_heap.schema, query.join)
+        build_window = Resource(sim, args.window,
+                                name=f"session-{session.id}-build-window")
+
+        def build_unit(lpns: list[int]):
+            yield build_window.request()
+            try:
+                pages = yield from device.internal_read(lpns)
+                counters = WorkCounters()
+                counters.io_units += 1
+                touched = collector.consume(pages, counters,
+                                            args.build_heap.layout)
+                yield from device.controller.dram_bus.transfer(touched)
+                yield from device.compute(
+                    costs.cycles(counters, large_hash_table=large_table))
+                session.counters.add(counters)
+            finally:
+                build_window.release()
+
+        build_jobs = [
+            sim.process(build_unit(lpns),
+                        name=f"session-{session.id}-build-{i}")
+            for i, lpns in enumerate(
+                unit_lpn_runs(args.build_heap, args.io_unit_pages))
+        ]
+        # Probing needs the complete table: the build phase is a barrier.
+        yield sim.all_of(build_jobs)
+        hash_table = collector.finish()
+
+    # Phase 2: windowed pipeline over the fact heap.
+    kernel = PageKernel(query, heap.schema, heap.layout,
+                        hash_table=hash_table)
+    window = Resource(sim, args.window, name=f"session-{session.id}-window")
+    agg_total = AggState()
+    select_mode = bool(query.select)
+
+    def unit_process(index: int, lpns: list[int]):
+        yield window.request()
+        try:
+            pages = yield from device.internal_read(lpns)
+            counters = WorkCounters()
+            counters.io_units += 1
+            touched = 0
+            out_columns: list[dict] = []
+            rows = 0
+            for page in pages:
+                partial = kernel.process_page(page)
+                counters.add(partial.counters)
+                touched += partial.touched_nbytes
+                rows += partial.row_count
+                if select_mode:
+                    out_columns.append(partial.columns)
+                else:
+                    agg_total.merge(partial.agg, query.aggregates)
+            yield from device.controller.dram_bus.transfer(touched)
+            yield from device.compute(
+                costs.cycles(counters, large_hash_table=large_table))
+            session.counters.add(counters)
+            if select_mode:
+                nbytes = RESULT_FRAME_NBYTES + sum(
+                    array.nbytes for chunk in out_columns
+                    for array in chunk.values())
+                # Results are staged through device DRAM before the host
+                # drains them over the interface.
+                yield from device.controller.dram_bus.transfer(nbytes)
+                session.push((index, out_columns), nbytes)
+        finally:
+            window.release()
+
+    processes = [
+        sim.process(unit_process(index, lpns),
+                    name=f"session-{session.id}-unit-{index}")
+        for index, lpns in enumerate(unit_lpn_runs(heap, args.io_unit_pages))
+    ]
+    yield sim.all_of(processes)
+
+    if not select_mode:
+        nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
+            len(query.aggregates) * max(1, len(agg_total.groups) or 1))
+        yield from device.controller.dram_bus.transfer(nbytes)
+        session.push(("agg", agg_total), nbytes)

@@ -1,0 +1,27 @@
+"""The selection-with-join device program."""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.smart.programs.base import DeviceProgram, ProgramArguments
+
+
+class HashJoinProgram(DeviceProgram):
+    """Simple hash join pushed into the device (paper Figures 4 and 6).
+
+    The build side is streamed from flash into a device-DRAM hash table
+    (the runtime must grant the memory), then the fact-table scan probes it.
+    Works in both projection mode (the synthetic selection-with-join query)
+    and aggregation mode (TPC-H Q14).
+    """
+
+    name = "hash_join"
+
+    def validate(self, args: ProgramArguments) -> None:
+        query = args.query
+        if query.join is None:
+            raise ProtocolError("hash_join needs a join specification")
+        if args.build_heap is None:
+            raise ProtocolError("hash_join OPENed without a build heap")
+        if args.build_heap.schema.column(query.join.build_key) is None:
+            raise ProtocolError("build key missing from build heap")

@@ -1,0 +1,26 @@
+"""The selection/scan device program."""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.smart.programs.base import DeviceProgram, ProgramArguments
+
+
+class ScanFilterProgram(DeviceProgram):
+    """Scan + filter + project: returns qualifying rows to the host.
+
+    The paper's "simple selection" program. Shape: a single table, an
+    optional predicate, a projection list, no join, no aggregates.
+    """
+
+    name = "scan_filter"
+
+    def validate(self, args: ProgramArguments) -> None:
+        query = args.query
+        if query.join is not None:
+            raise ProtocolError(
+                "scan_filter cannot run joins; OPEN hash_join instead")
+        if not query.select:
+            raise ProtocolError(
+                "scan_filter needs a projection; OPEN aggregate for "
+                "aggregation queries")

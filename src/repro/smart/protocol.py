@@ -1,0 +1,86 @@
+"""The OPEN / GET / CLOSE session protocol (paper §3).
+
+The protocol is designed for traditional block interfaces (SATA/SAS): the
+device is a passive entity, so the host initiates every exchange.
+
+* **OPEN** — starts a session: the runtime grants threads and memory, the
+  named program starts against the parameters, and a unique session id is
+  returned to the host.
+* **GET** — host-initiated polling: reports the program's status and drains
+  whatever results it has produced so far.
+* **CLOSE** — terminates the session and releases its runtime resources.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+
+
+class CommandKind(enum.Enum):
+    """The three protocol commands."""
+
+    OPEN = "open"
+    GET = "get"
+    CLOSE = "close"
+
+
+class SessionStatus(enum.Enum):
+    """Program status reported through GET."""
+
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class OpenParams:
+    """Parameters carried by an OPEN command.
+
+    ``program`` names an uploaded device program; ``arguments`` are passed
+    to it verbatim (the query description, heap-file extents, layout...).
+    """
+
+    program: str
+    arguments: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class GetResponse:
+    """One GET reply: status plus any results drained this poll."""
+
+    session_id: int
+    status: SessionStatus
+    payload: list[Any] = field(default_factory=list)
+    payload_nbytes: int = 0
+    error: Optional[str] = None
+
+
+#: Size of an OPEN/CLOSE command frame on the wire (a command block plus the
+#: serialized parameters — small, but it does cross the interface).
+COMMAND_FRAME_NBYTES = 4096
+
+#: Fixed part of each GET reply (status block) before the result payload.
+GET_FRAME_NBYTES = 512
+
+
+class SessionIdAllocator:
+    """Monotonic unique session ids, per device."""
+
+    def __init__(self):
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> int:
+        """Allocate the next session id."""
+        return next(self._counter)
+
+
+def require_state(condition: bool, message: str) -> None:
+    """Protocol-state assertion helper."""
+    if not condition:
+        raise ProtocolError(message)

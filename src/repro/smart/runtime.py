@@ -1,0 +1,161 @@
+"""The in-device runtime: sessions, grants, and program registry.
+
+Mirrors the paper's Smart SSD runtime framework: "Once the session starts,
+runtime resources including threads and memory that are required to run a
+user-defined program are granted, and a unique session id is then returned
+to the host" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import DeviceResourceError, ProtocolError
+from repro.flash.dram import DeviceDram
+from repro.model.counters import WorkCounters
+from repro.sim import Event, Simulator
+from repro.smart.protocol import OpenParams, SessionIdAllocator, SessionStatus
+from repro.units import MIB
+
+#: Device DRAM granted to every session for staging results.
+RESULT_BUFFER_NBYTES = 8 * MIB
+
+#: Maximum concurrently-open sessions (thread-grant limit).
+MAX_SESSIONS = 4
+
+
+@dataclass
+class Session:
+    """One open protocol session and its runtime state."""
+
+    id: int
+    params: OpenParams
+    sim: Simulator
+    status: SessionStatus = SessionStatus.RUNNING
+    error: Optional[str] = None
+    pending_payload: list[Any] = field(default_factory=list)
+    pending_nbytes: int = 0
+    grants: list[int] = field(default_factory=list)
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    _waiters: list[Event] = field(default_factory=list)
+
+    # -- producer side (the device program) ---------------------------------
+
+    def push(self, payload: Any, nbytes: int) -> None:
+        """Queue a result chunk for the next GET to drain."""
+        self.pending_payload.append(payload)
+        self.pending_nbytes += nbytes
+        self._wake()
+
+    def finish(self) -> None:
+        """Mark the program complete."""
+        self.status = SessionStatus.DONE
+        self._wake()
+
+    def fail(self, error: str) -> None:
+        """Mark the program failed; GET will surface the error."""
+        self.status = SessionStatus.FAILED
+        self.error = error
+        self._wake()
+
+    # -- consumer side (GET handling) -----------------------------------------
+
+    def drain(self) -> tuple[list[Any], int]:
+        """Take everything queued so far."""
+        payload, self.pending_payload = self.pending_payload, []
+        nbytes, self.pending_nbytes = self.pending_nbytes, 0
+        return payload, nbytes
+
+    def has_news(self) -> bool:
+        """True when a GET would return something (data or a final status)."""
+        return (bool(self.pending_payload)
+                or self.status is not SessionStatus.RUNNING)
+
+    def wait_news(self) -> Event:
+        """Event that fires when results or a final status become available."""
+        event = self.sim.event()
+        if self.has_news():
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(None)
+
+
+class SmartRuntime:
+    """Program registry + session lifecycle + resource grants."""
+
+    def __init__(self, sim: Simulator, dram: DeviceDram,
+                 max_sessions: int = MAX_SESSIONS):
+        self.sim = sim
+        self.dram = dram
+        self.max_sessions = max_sessions
+        self._programs: dict[str, Any] = {}
+        self._sessions: dict[int, Session] = {}
+        self._ids = SessionIdAllocator()
+
+    # -- program management ----------------------------------------------------
+
+    def upload_program(self, program: Any) -> None:
+        """Register a device program (the paper's 'uploaded code')."""
+        name = program.name
+        if name in self._programs:
+            raise ProtocolError(f"program {name!r} already uploaded")
+        self._programs[name] = program
+
+    def program(self, name: str):
+        """Look up an uploaded program."""
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise ProtocolError(
+                f"no program {name!r} uploaded; have "
+                f"{sorted(self._programs)}") from None
+
+    def program_names(self) -> list[str]:
+        """Uploaded program names."""
+        return sorted(self._programs)
+
+    # -- session lifecycle -------------------------------------------------------
+
+    def open(self, params: OpenParams) -> Session:
+        """Grant resources and create a session (program not yet started)."""
+        if len(self._sessions) >= self.max_sessions:
+            raise DeviceResourceError(
+                f"device thread grant exhausted "
+                f"({self.max_sessions} sessions)")
+        self.program(params.program)  # validate early
+        session = Session(id=self._ids.next_id(), params=params, sim=self.sim)
+        session.grants.append(self.dram.allocate(RESULT_BUFFER_NBYTES))
+        self._sessions[session.id] = session
+        return session
+
+    def grant_memory(self, session: Session, nbytes: int) -> None:
+        """Grant extra session memory (hash tables); raises when exhausted."""
+        session.grants.append(self.dram.allocate(nbytes))
+
+    def session(self, session_id: int) -> Session:
+        """Look up an open session."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ProtocolError(f"unknown session id {session_id}") from None
+
+    def close(self, session_id: int) -> None:
+        """Release a session's grants and forget it."""
+        session = self.session(session_id)
+        for handle in session.grants:
+            self.dram.free(handle)
+        session.grants.clear()
+        session.status = SessionStatus.CLOSED
+        del self._sessions[session_id]
+
+    @property
+    def open_session_count(self) -> int:
+        """Number of currently-open sessions."""
+        return len(self._sessions)

@@ -1,0 +1,36 @@
+"""A small SQL front end for the supported query class.
+
+The paper expresses its workload as SQL (Q6, Q14, the synthetic join);
+this package parses that dialect directly::
+
+    report = db.sql(\"\"\"
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate <  DATE '1995-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    \"\"\", placement="smart")
+
+Supported: SELECT [DISTINCT] with expressions and aggregates (SUM, COUNT,
+MIN, MAX, AVG — plus arithmetic *over* aggregates, e.g. Q14's ratio),
+single-table FROM or the paper's two-table equi-join (comma join or JOIN
+... ON), WHERE with AND/OR, comparisons, BETWEEN, LIKE 'prefix%', CASE
+WHEN, GROUP BY, ORDER BY ... [DESC], and LIMIT.
+
+The binder understands the paper's storage modifications: comparing a
+x100-decimal column against ``0.05`` scales the literal, ``DATE
+'1994-01-01'`` becomes days-since-epoch, and decimal-scaled aggregate
+results are descaled back to human units in the finalize step.
+"""
+
+from repro.sql.binder import bind
+from repro.sql.lexer import SqlError, tokenize
+from repro.sql.parser import parse
+
+__all__ = ["SqlError", "bind", "parse", "tokenize"]
+
+
+def compile_sql(sql: str, catalog) -> "repro.engine.plans.Query":
+    """Parse and bind a SQL string against a catalog; returns a Query."""
+    return bind(parse(tokenize(sql)), catalog)

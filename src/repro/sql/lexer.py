@@ -1,0 +1,94 @@
+"""SQL tokenizer for the supported dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Lexing, parsing, or binding failure, with position context."""
+
+
+#: Reserved words (case-insensitive).
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
+    "LIMIT", "AND", "OR", "NOT", "AS", "ASC", "DESC", "BETWEEN", "LIKE",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "DATE", "JOIN", "ON", "IN",
+    "SUM", "COUNT", "MIN", "MAX", "AVG",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = ["<=", ">=", "<>", "!=", "<", ">", "=", "+", "-", "*", "/",
+              "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str    # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'end'
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: Optional[str] = None) -> bool:
+        """Kind (and optionally value) equality."""
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split a SQL string into tokens; raises SqlError on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = sql.find("'", index + 1)
+            if end < 0:
+                raise SqlError(f"unterminated string at position {index}")
+            tokens.append(Token("string", sql[index + 1:end], index))
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and sql[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            while index < length and (sql[index].isdigit()
+                                      or (sql[index] == "." and not seen_dot)):
+                if sql[index] == ".":
+                    # A dot followed by a non-digit is a qualifier, not a
+                    # decimal point (e.g. "t1.col" after "1"? — not valid
+                    # SQL anyway, but be strict).
+                    if index + 1 >= length or not sql[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            tokens.append(Token("number", sql[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (sql[index].isalnum()
+                                      or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        for operator in _OPERATORS:
+            if sql.startswith(operator, index):
+                tokens.append(Token("op", operator, index))
+                index += len(operator)
+                break
+        else:
+            raise SqlError(
+                f"unexpected character {char!r} at position {index}")
+    tokens.append(Token("end", "", length))
+    return tokens

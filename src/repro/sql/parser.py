@@ -1,0 +1,356 @@
+"""Recursive-descent SQL parser producing a small AST.
+
+The AST is deliberately separate from :mod:`repro.engine.expressions`: the
+binder resolves names and storage scaling afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.lexer import SqlError, Token
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """Integer or decimal literal (kept as text for exact scaling)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class StringLit:
+    """String literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class DateLit:
+    """DATE 'YYYY-MM-DD' literal."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ColRef:
+    """Possibly-qualified column reference."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic: + - * /."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """Comparison: < <= > >= = <> !=."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class AndE:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class OrE:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class BetweenE:
+    """expr BETWEEN lo AND hi (inclusive)."""
+
+    expr: object
+    low: object
+    high: object
+
+
+@dataclass(frozen=True)
+class LikeE:
+    """expr LIKE 'prefix%'."""
+
+    expr: object
+    pattern: str
+
+
+@dataclass(frozen=True)
+class InE:
+    """expr IN (literal, ...)."""
+
+    expr: object
+    items: tuple
+
+
+@dataclass(frozen=True)
+class CaseE:
+    """CASE WHEN cond THEN a ELSE b END."""
+
+    condition: object
+    then: object
+    otherwise: object
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Aggregate call: SUM/COUNT/MIN/MAX/AVG; arg is None for COUNT(*)."""
+
+    name: str
+    arg: Optional[object]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class JoinOn:
+    """Explicit JOIN ... ON a.x = b.y."""
+
+    table: str
+    left: ColRef
+    right: ColRef
+
+
+@dataclass
+class SelectStmt:
+    """One parsed SELECT statement."""
+
+    distinct: bool = False
+    items: list[SelectItem] = field(default_factory=list)
+    tables: list[str] = field(default_factory=list)
+    join_on: Optional[JoinOn] = None
+    where: Optional[object] = None
+    group_by: list[ColRef] = field(default_factory=list)
+    order_by: Optional[ColRef] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value or kind
+            raise SqlError(
+                f"expected {want!r} but found {self.current.value!r} "
+                f"at position {self.current.position}")
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_select(self) -> SelectStmt:
+        stmt = SelectStmt()
+        self.expect("keyword", "SELECT")
+        stmt.distinct = bool(self.accept("keyword", "DISTINCT"))
+        stmt.items = self._select_list()
+        self.expect("keyword", "FROM")
+        stmt.tables.append(self.expect("ident").value)
+        if self.accept("op", ","):
+            stmt.tables.append(self.expect("ident").value)
+        elif self.accept("keyword", "JOIN"):
+            table = self.expect("ident").value
+            self.expect("keyword", "ON")
+            left = self._column_ref()
+            self.expect("op", "=")
+            right = self._column_ref()
+            stmt.tables.append(table)
+            stmt.join_on = JoinOn(table=table, left=left, right=right)
+        if self.accept("keyword", "WHERE"):
+            stmt.where = self._or_expr()
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            stmt.group_by.append(self._column_ref())
+            while self.accept("op", ","):
+                stmt.group_by.append(self._column_ref())
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            stmt.order_by = self._column_ref()
+            if self.accept("keyword", "DESC"):
+                stmt.descending = True
+            else:
+                self.accept("keyword", "ASC")
+        if self.accept("keyword", "LIMIT"):
+            stmt.limit = int(self.expect("number").value)
+        self.expect("end")
+        return stmt
+
+    def _select_list(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self.accept("op", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self._add_expr()
+        alias = None
+        if self.accept("keyword", "AS"):
+            alias = self.expect("ident").value
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _column_ref(self) -> ColRef:
+        first = self.expect("ident").value
+        if self.accept("op", "."):
+            return ColRef(table=first, name=self.expect("ident").value)
+        return ColRef(table=None, name=first)
+
+    # -- boolean expressions -------------------------------------------------
+
+    def _or_expr(self):
+        node = self._and_expr()
+        while self.accept("keyword", "OR"):
+            node = OrE(node, self._and_expr())
+        return node
+
+    def _and_expr(self):
+        node = self._predicate()
+        while self.accept("keyword", "AND"):
+            node = AndE(node, self._predicate())
+        return node
+
+    def _predicate(self):
+        if self.accept("op", "("):
+            # Could be a parenthesised boolean or arithmetic expression;
+            # parse as boolean (arithmetic groups are handled in _atom).
+            inner = self._or_expr()
+            self.expect("op", ")")
+            return inner
+        left = self._add_expr()
+        if self.accept("keyword", "BETWEEN"):
+            low = self._add_expr()
+            self.expect("keyword", "AND")
+            high = self._add_expr()
+            return BetweenE(expr=left, low=low, high=high)
+        if self.accept("keyword", "LIKE"):
+            pattern = self.expect("string").value
+            return LikeE(expr=left, pattern=pattern)
+        if self.accept("keyword", "IN"):
+            self.expect("op", "(")
+            items = [self._add_expr()]
+            while self.accept("op", ","):
+                items.append(self._add_expr())
+            self.expect("op", ")")
+            return InE(expr=left, items=tuple(items))
+        for op in ("<=", ">=", "<>", "!=", "<", ">", "="):
+            if self.accept("op", op):
+                return Cmp(op=op, left=left, right=self._add_expr())
+        raise SqlError(
+            f"expected a comparison at position {self.current.position}")
+
+    # -- arithmetic expressions -------------------------------------------------
+
+    def _add_expr(self):
+        node = self._mul_expr()
+        while True:
+            if self.accept("op", "+"):
+                node = BinOp("+", node, self._mul_expr())
+            elif self.accept("op", "-"):
+                node = BinOp("-", node, self._mul_expr())
+            else:
+                return node
+
+    def _mul_expr(self):
+        node = self._atom()
+        while True:
+            if self.accept("op", "*"):
+                node = BinOp("*", node, self._atom())
+            elif self.accept("op", "/"):
+                node = BinOp("/", node, self._atom())
+            else:
+                return node
+
+    def _atom(self):
+        token = self.current
+        if self.accept("op", "("):
+            inner = self._add_expr()
+            self.expect("op", ")")
+            return inner
+        if self.accept("op", "-"):
+            operand = self._atom()
+            return BinOp("-", NumberLit("0"), operand)
+        if token.kind == "number":
+            self.advance()
+            return NumberLit(token.value)
+        if token.kind == "string":
+            self.advance()
+            return StringLit(token.value)
+        if self.accept("keyword", "DATE"):
+            return DateLit(self.expect("string").value)
+        if self.accept("keyword", "CASE"):
+            self.expect("keyword", "WHEN")
+            condition = self._or_expr()
+            self.expect("keyword", "THEN")
+            then = self._add_expr()
+            self.expect("keyword", "ELSE")
+            otherwise = self._add_expr()
+            self.expect("keyword", "END")
+            return CaseE(condition=condition, then=then,
+                         otherwise=otherwise)
+        for func in ("SUM", "COUNT", "MIN", "MAX", "AVG"):
+            if self.accept("keyword", func):
+                self.expect("op", "(")
+                if func == "COUNT" and self.accept("op", "*"):
+                    self.expect("op", ")")
+                    return FuncCall(name="COUNT", arg=None)
+                arg = self._add_expr()
+                self.expect("op", ")")
+                return FuncCall(name=func, arg=arg)
+        if token.kind == "ident":
+            return self._column_ref()
+        raise SqlError(
+            f"unexpected token {token.value!r} at position {token.position}")
+
+
+def parse(tokens: list[Token]) -> SelectStmt:
+    """Parse a token stream into a SELECT statement AST."""
+    return _Parser(tokens).parse_select()

@@ -1,0 +1,91 @@
+"""Layout dispatch: a single entry point over the NSM and PAX codecs."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage import nsm, pax
+from repro.storage.page import PageHeader
+from repro.storage.schema import Schema
+
+
+class Layout(enum.Enum):
+    """On-page record layout (paper §4.1.1)."""
+
+    NSM = "nsm"
+    PAX = "pax"
+
+    @property
+    def tag(self) -> int:
+        """The layout tag stored in page headers."""
+        return nsm.NSM_LAYOUT_TAG if self is Layout.NSM else pax.PAX_LAYOUT_TAG
+
+    @classmethod
+    def from_tag(cls, tag: int) -> "Layout":
+        """Map a page-header tag back to a layout."""
+        if tag == nsm.NSM_LAYOUT_TAG:
+            return cls.NSM
+        if tag == pax.PAX_LAYOUT_TAG:
+            return cls.PAX
+        raise StorageError(f"unknown layout tag {tag}")
+
+
+def tuples_per_page(layout: Layout, schema: Schema) -> int:
+    """Record capacity of one page under the given layout."""
+    if layout is Layout.NSM:
+        return nsm.tuples_per_page(schema)
+    return pax.tuples_per_page(schema)
+
+
+def encode_page(layout: Layout, schema: Schema, rows: np.ndarray,
+                table_id: int = 0, page_index: int = 0) -> bytes:
+    """Encode rows (a structured array) into one page of the given layout."""
+    if layout is Layout.NSM:
+        return nsm.encode_nsm_page(schema, rows, table_id, page_index)
+    return pax.encode_pax_page(schema, rows, table_id, page_index)
+
+
+def decode_page(schema: Schema, page: bytes) -> np.ndarray:
+    """Decode a full page (either layout) into a row-ordered array."""
+    header = PageHeader.decode(page)
+    layout = Layout.from_tag(header.layout_tag)
+    if layout is Layout.NSM:
+        return nsm.decode_nsm_page(schema, page)
+    return pax.decode_pax_page(schema, page)
+
+
+def decode_columns(schema: Schema, page: bytes,
+                   names: Iterable[str]) -> dict[str, np.ndarray]:
+    """Decode only the named columns from a page.
+
+    For PAX pages only the referenced minipages are touched — the access
+    pattern the device programs exploit. For NSM pages the whole record area
+    must be parsed regardless (the cost model charges accordingly).
+    """
+    header = PageHeader.decode(page)
+    layout = Layout.from_tag(header.layout_tag)
+    names = list(names)
+    if layout is Layout.PAX:
+        return {
+            name: pax.decode_pax_column(schema, page, schema.column_index(name))
+            for name in names
+        }
+    rows = nsm.decode_nsm_page(schema, page)
+    return {name: rows[name] for name in names}
+
+
+def touched_bytes(layout: Layout, schema: Schema, names: Iterable[str],
+                  tuple_count: int) -> int:
+    """Payload bytes a reader of the named columns actually touches.
+
+    This feeds the device DRAM-bus contention model: an NSM reader walks
+    whole records, a PAX reader only the referenced minipages.
+    """
+    names = list(names)
+    if layout is Layout.NSM:
+        return tuple_count * nsm.record_stride(schema)
+    return tuple_count * sum(schema.column(n).nbytes for n in names)

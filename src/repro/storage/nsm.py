@@ -1,0 +1,123 @@
+"""NSM (N-ary Storage Model) slotted-page codec.
+
+The traditional row store: after the 96-byte header, records grow from the
+front of the page, each preceded by a small record header (status bytes /
+null bitmap, as in SQL Server); a slot directory of 2-byte record offsets
+grows backwards from the page tail.
+
+Because every record is fixed-width, the whole record area decodes as one
+NumPy structured-array view — no per-tuple Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.page import (
+    NSM_RECORD_OVERHEAD,
+    NSM_SLOT_NBYTES,
+    PAGE_HEADER_NBYTES,
+    PAGE_SIZE,
+    PageHeader,
+    payload_crc,
+)
+from repro.storage.schema import Schema
+
+#: Layout tag stored in the page header for NSM pages.
+NSM_LAYOUT_TAG = 0
+
+
+def record_stride(schema: Schema) -> int:
+    """Bytes from the start of one record to the start of the next."""
+    return schema.record_nbytes + NSM_RECORD_OVERHEAD
+
+
+def tuples_per_page(schema: Schema) -> int:
+    """Maximum records that fit in one NSM page of this schema."""
+    capacity = (PAGE_SIZE - PAGE_HEADER_NBYTES) // (
+        record_stride(schema) + NSM_SLOT_NBYTES)
+    if capacity < 1:
+        raise StorageError(
+            f"record of {schema.record_nbytes} bytes does not fit in a page")
+    return capacity
+
+
+def _padded_dtype(schema: Schema) -> np.dtype:
+    """Structured dtype whose itemsize spans the record header too."""
+    offsets = []
+    cursor = NSM_RECORD_OVERHEAD
+    for column in schema.columns:
+        offsets.append(cursor)
+        cursor += column.nbytes
+    return np.dtype({
+        "names": list(schema.names),
+        "formats": [c.ctype.numpy_dtype for c in schema.columns],
+        "offsets": offsets,
+        "itemsize": record_stride(schema),
+    })
+
+
+def encode_nsm_page(schema: Schema, rows: np.ndarray, table_id: int,
+                    page_index: int) -> bytes:
+    """Encode up to a page's worth of rows into one NSM page.
+
+    ``rows`` must be a structured array with the schema's dtype and at most
+    :func:`tuples_per_page` entries.
+    """
+    count = len(rows)
+    if count > tuples_per_page(schema):
+        raise PageFullError(
+            f"{count} rows exceed NSM capacity {tuples_per_page(schema)}")
+    page = bytearray(PAGE_SIZE)
+
+    # Record area: one zeroed record header before each packed record.
+    padded = np.zeros(count, dtype=_padded_dtype(schema))
+    for name in schema.names:
+        padded[name] = rows[name]
+    body = padded.tobytes()
+    page[PAGE_HEADER_NBYTES:PAGE_HEADER_NBYTES + len(body)] = body
+
+    # Slot directory, growing backwards from the page tail.
+    stride = record_stride(schema)
+    slot_offsets = np.arange(count, dtype="<u2") * stride + PAGE_HEADER_NBYTES
+    if count:
+        # Slot i lives at PAGE_SIZE - (i + 1) * NSM_SLOT_NBYTES, so the
+        # entries sit in reverse order in memory.
+        reversed_slots = slot_offsets[::-1].tobytes()
+        page[PAGE_SIZE - len(reversed_slots):] = reversed_slots
+
+    header = PageHeader(layout_tag=NSM_LAYOUT_TAG, tuple_count=count,
+                        table_id=table_id, page_index=page_index,
+                        payload_crc=0)
+    page[:PAGE_HEADER_NBYTES] = header.encode()
+    crc = payload_crc(bytes(page))
+    final_header = PageHeader(layout_tag=NSM_LAYOUT_TAG, tuple_count=count,
+                              table_id=table_id, page_index=page_index,
+                              payload_crc=crc)
+    page[:PAGE_HEADER_NBYTES] = final_header.encode()
+    return bytes(page)
+
+
+def decode_nsm_page(schema: Schema, page: bytes) -> np.ndarray:
+    """Decode all records of an NSM page into a structured array (a view)."""
+    header = PageHeader.decode(page)
+    if header.layout_tag != NSM_LAYOUT_TAG:
+        raise StorageError(f"not an NSM page (tag {header.layout_tag})")
+    raw = np.frombuffer(page, dtype=_padded_dtype(schema),
+                        count=header.tuple_count, offset=PAGE_HEADER_NBYTES)
+    out = np.empty(header.tuple_count, dtype=schema.numpy_dtype())
+    for name in schema.names:
+        out[name] = raw[name]
+    return out
+
+
+def decode_nsm_slots(page: bytes) -> np.ndarray:
+    """Decode the slot directory (record offsets, slot 0 first)."""
+    header = PageHeader.decode(page)
+    count = header.tuple_count
+    if count == 0:
+        return np.empty(0, dtype="<u2")
+    tail = np.frombuffer(page, dtype="<u2", count=count,
+                         offset=PAGE_SIZE - count * NSM_SLOT_NBYTES)
+    return tail[::-1].copy()

@@ -1,0 +1,98 @@
+"""Page-level constants and the common page header.
+
+Pages are 8 KiB, matching SQL Server's page size (the paper's host DBMS is a
+modified SQL Server 2012). A 96-byte header — again SQL Server's figure —
+leads every page; the payload layout after the header is NSM or PAX.
+
+The header carries a CRC-32 of the payload. Real SSDs detect media errors
+with ECC in the flash controller; the simulated controller verifies this
+checksum on reads, which gives the test suite a hook for fault injection.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+#: Page size in bytes (SQL Server pages are 8 KiB).
+PAGE_SIZE = 8192
+
+#: Header bytes at the start of every page (SQL Server uses 96).
+PAGE_HEADER_NBYTES = 96
+
+#: Usable payload bytes per page.
+PAGE_PAYLOAD_NBYTES = PAGE_SIZE - PAGE_HEADER_NBYTES
+
+#: Per-record overhead in NSM pages (status bytes + null bitmap, as in SQL
+#: Server's row header). With the paper's 145-byte modified LINEITEM record
+#: this yields 51 tuples per page — the figure §4.2.1 quotes for Q6.
+NSM_RECORD_OVERHEAD = 9
+
+#: Bytes per NSM slot-directory entry (2-byte record offset).
+NSM_SLOT_NBYTES = 2
+
+#: Bytes per PAX minipage-offset table entry.
+PAX_OFFSET_ENTRY_NBYTES = 4
+
+_MAGIC = 0x55D5_0D0B  # arbitrary page magic
+_HEADER_STRUCT = struct.Struct("<IBxHIIII")
+
+
+@dataclass(frozen=True)
+class PageHeader:
+    """Decoded fixed page header.
+
+    Attributes:
+        layout_tag: 0 for NSM, 1 for PAX (see :class:`repro.storage.Layout`).
+        tuple_count: live tuples stored in the page.
+        table_id: catalog id of the owning table.
+        page_index: ordinal of this page within its heap file.
+        payload_crc: CRC-32 of the payload bytes (everything after the header).
+    """
+
+    layout_tag: int
+    tuple_count: int
+    table_id: int
+    page_index: int
+    payload_crc: int
+
+    def encode(self) -> bytes:
+        """Pack into exactly PAGE_HEADER_NBYTES bytes."""
+        packed = _HEADER_STRUCT.pack(_MAGIC, self.layout_tag,
+                                     self.tuple_count, self.table_id,
+                                     self.page_index, self.payload_crc, 0)
+        return packed.ljust(PAGE_HEADER_NBYTES, b"\x00")
+
+    @classmethod
+    def decode(cls, page: bytes) -> "PageHeader":
+        """Parse the header of ``page``; raises StorageError on corruption."""
+        if len(page) < PAGE_HEADER_NBYTES:
+            raise StorageError(f"short page: {len(page)} bytes")
+        magic, layout_tag, tuple_count, table_id, page_index, crc, __ = (
+            _HEADER_STRUCT.unpack_from(page, 0))
+        if magic != _MAGIC:
+            raise StorageError(f"bad page magic: {magic:#x}")
+        return cls(layout_tag=layout_tag, tuple_count=tuple_count,
+                   table_id=table_id, page_index=page_index, payload_crc=crc)
+
+
+def payload_crc(page: bytes) -> int:
+    """CRC-32 of a full page's payload region."""
+    return zlib.crc32(page[PAGE_HEADER_NBYTES:]) & 0xFFFFFFFF
+
+
+def verify_page(page: bytes) -> PageHeader:
+    """Decode the header and check the payload CRC (the controller's ECC).
+
+    Raises StorageError when the stored CRC does not match the payload.
+    """
+    header = PageHeader.decode(page)
+    actual = payload_crc(page)
+    if actual != header.payload_crc:
+        raise StorageError(
+            f"page {header.page_index} payload CRC mismatch "
+            f"(stored {header.payload_crc:#x}, actual {actual:#x})")
+    return header

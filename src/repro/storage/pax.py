@@ -1,0 +1,118 @@
+"""PAX (Partition Attributes Across) page codec.
+
+Ailamaki et al. (VLDB 2001): each page is split into one *minipage* per
+column; all values of a column within the page sit contiguously. A reader
+that needs only a few columns touches only those minipages — the property
+that gives the Smart SSD's slow in-device CPU its cache-friendly access
+pattern and, in the paper, makes PAX consistently beat NSM inside the device.
+
+Page body layout (after the 96-byte common header)::
+
+    [minipage offset table: ncols x u32] [minipage 0] [minipage 1] ...
+
+Each minipage holds ``capacity`` fixed-width values; the first
+``tuple_count`` are live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.page import (
+    PAGE_HEADER_NBYTES,
+    PAGE_SIZE,
+    PAX_OFFSET_ENTRY_NBYTES,
+    PageHeader,
+    payload_crc,
+)
+from repro.storage.schema import Schema
+
+#: Layout tag stored in the page header for PAX pages.
+PAX_LAYOUT_TAG = 1
+
+
+def tuples_per_page(schema: Schema) -> int:
+    """Maximum records that fit in one PAX page of this schema."""
+    table_nbytes = len(schema.columns) * PAX_OFFSET_ENTRY_NBYTES
+    capacity = (PAGE_SIZE - PAGE_HEADER_NBYTES - table_nbytes) // (
+        schema.record_nbytes)
+    if capacity < 1:
+        raise StorageError(
+            f"record of {schema.record_nbytes} bytes does not fit in a page")
+    return capacity
+
+
+def minipage_offsets(schema: Schema) -> list[int]:
+    """Byte offset of each column's minipage within the page."""
+    capacity = tuples_per_page(schema)
+    table_nbytes = len(schema.columns) * PAX_OFFSET_ENTRY_NBYTES
+    cursor = PAGE_HEADER_NBYTES + table_nbytes
+    offsets = []
+    for column in schema.columns:
+        offsets.append(cursor)
+        cursor += capacity * column.nbytes
+    return offsets
+
+
+def minipage_nbytes(schema: Schema, column_index: int) -> int:
+    """Size in bytes of one column's minipage."""
+    return tuples_per_page(schema) * schema.columns[column_index].nbytes
+
+
+def encode_pax_page(schema: Schema, rows: np.ndarray, table_id: int,
+                    page_index: int) -> bytes:
+    """Encode up to a page's worth of rows into one PAX page."""
+    count = len(rows)
+    if count > tuples_per_page(schema):
+        raise PageFullError(
+            f"{count} rows exceed PAX capacity {tuples_per_page(schema)}")
+    page = bytearray(PAGE_SIZE)
+
+    offsets = minipage_offsets(schema)
+    table = np.asarray(offsets, dtype="<u4").tobytes()
+    page[PAGE_HEADER_NBYTES:PAGE_HEADER_NBYTES + len(table)] = table
+
+    for column, offset in zip(schema.columns, offsets):
+        values = np.ascontiguousarray(rows[column.name])
+        body = values.tobytes()
+        page[offset:offset + len(body)] = body
+
+    header = PageHeader(layout_tag=PAX_LAYOUT_TAG, tuple_count=count,
+                        table_id=table_id, page_index=page_index,
+                        payload_crc=0)
+    page[:PAGE_HEADER_NBYTES] = header.encode()
+    crc = payload_crc(bytes(page))
+    final_header = PageHeader(layout_tag=PAX_LAYOUT_TAG, tuple_count=count,
+                              table_id=table_id, page_index=page_index,
+                              payload_crc=crc)
+    page[:PAGE_HEADER_NBYTES] = final_header.encode()
+    return bytes(page)
+
+
+def _check_tag(page: bytes) -> PageHeader:
+    header = PageHeader.decode(page)
+    if header.layout_tag != PAX_LAYOUT_TAG:
+        raise StorageError(f"not a PAX page (tag {header.layout_tag})")
+    return header
+
+
+def decode_pax_column(schema: Schema, page: bytes,
+                      column_index: int) -> np.ndarray:
+    """Decode one column's live values from a PAX page (zero-copy view)."""
+    header = _check_tag(page)
+    stored = np.frombuffer(page, dtype="<u4", count=len(schema.columns),
+                           offset=PAGE_HEADER_NBYTES)
+    column = schema.columns[column_index]
+    return np.frombuffer(page, dtype=column.ctype.numpy_dtype,
+                         count=header.tuple_count,
+                         offset=int(stored[column_index]))
+
+
+def decode_pax_page(schema: Schema, page: bytes) -> np.ndarray:
+    """Decode a whole PAX page back into a row-ordered structured array."""
+    header = _check_tag(page)
+    out = np.empty(header.tuple_count, dtype=schema.numpy_dtype())
+    for index, column in enumerate(schema.columns):
+        out[column.name] = decode_pax_column(schema, page, index)
+    return out

@@ -1,0 +1,115 @@
+"""Relation schemas: named, typed, fixed-width columns."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.types import ColumnType
+
+
+class Column:
+    """A named column with a fixed-width type."""
+
+    __slots__ = ("name", "ctype")
+
+    def __init__(self, name: str, ctype: ColumnType):
+        if not name or not name.isidentifier():
+            raise CatalogError(f"bad column name: {name!r}")
+        self.name = name
+        self.ctype = ctype
+
+    @property
+    def nbytes(self) -> int:
+        """Storage width of one value."""
+        return self.ctype.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Column)
+                and self.name == other.name and self.ctype == other.ctype)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.ctype))
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype!r})"
+
+
+class Schema:
+    """An ordered set of :class:`Column` definitions."""
+
+    def __init__(self, columns: Sequence[Column]):
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in {names}")
+        if not columns:
+            raise CatalogError("a schema needs at least one column")
+        self.columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+
+    @property
+    def record_nbytes(self) -> int:
+        """Bytes of one packed record (no alignment padding)."""
+        return sum(c.nbytes for c in self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names, in order."""
+        return tuple(c.name for c in self.columns)
+
+    def numpy_dtype(self) -> np.dtype:
+        """Packed structured dtype matching the on-page record format."""
+        return np.dtype(
+            [(c.name, c.ctype.numpy_dtype) for c in self.columns])
+
+    def column_index(self, name: str) -> int:
+        """Position of column ``name``; raises CatalogError if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}; "
+                               f"have {list(self.names)}") from None
+
+    def column(self, name: str) -> Column:
+        """The column definition for ``name``."""
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        """True when ``name`` is a column of this schema."""
+        return name in self._index
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema with only the given columns, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def rows_to_array(self, rows: Iterable[Sequence[Any]]) -> np.ndarray:
+        """Validate Python row tuples and pack them into a structured array."""
+        validated = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(self.columns):
+                raise StorageError(
+                    f"row arity {len(row)} != schema arity {len(self.columns)}")
+            validated.append(tuple(
+                col.ctype.validate(value)
+                for col, value in zip(self.columns, row)))
+        return np.array(validated, dtype=self.numpy_dtype())
+
+    def empty_array(self) -> np.ndarray:
+        """A zero-row structured array with this schema's dtype."""
+        return np.empty(0, dtype=self.numpy_dtype())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}: {c.ctype!r}" for c in self.columns)
+        return f"Schema({cols})"

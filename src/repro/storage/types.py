@@ -1,0 +1,139 @@
+"""Fixed-width column types.
+
+The paper's workload modifications (§4.1.1) make every column fixed-width:
+
+1. variable-length columns become fixed-length char strings,
+2. decimals are multiplied by 100 and stored as integers,
+3. dates become the number of days since an epoch.
+
+Each type knows its NumPy dtype, so pages encode/decode as structured arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class ColumnType:
+    """Base class for fixed-width column types."""
+
+    #: NumPy dtype string, e.g. ``"<i4"`` — set by subclasses.
+    numpy_dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Storage width of one value in bytes."""
+        return np.dtype(self.numpy_dtype).itemsize
+
+    def validate(self, value: Any) -> Any:
+        """Check/coerce a Python value for storage; raises StorageError."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class _IntType(ColumnType):
+    """Shared behaviour for the integer-backed types."""
+
+    _min: int
+    _max: int
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, (bool, float)):
+            raise StorageError(f"{self!r} requires an int, got {value!r}")
+        try:
+            value = int(value)
+        except (TypeError, ValueError) as exc:
+            raise StorageError(f"{self!r} requires an int, got {value!r}") from exc
+        if not self._min <= value <= self._max:
+            raise StorageError(f"{value} out of range for {self!r}")
+        return value
+
+
+class Int32Type(_IntType):
+    """32-bit signed integer."""
+
+    numpy_dtype = "<i4"
+    _min, _max = -(2**31), 2**31 - 1
+
+
+class Int64Type(_IntType):
+    """64-bit signed integer."""
+
+    numpy_dtype = "<i8"
+    _min, _max = -(2**63), 2**63 - 1
+
+
+class DateType(_IntType):
+    """A date stored as days since the epoch (paper modification #3)."""
+
+    numpy_dtype = "<i4"
+    _min, _max = -(2**31), 2**31 - 1
+
+
+class DecimalType(_IntType):
+    """A fixed-point decimal stored as ``value * 10**scale`` in an int64.
+
+    The paper (modification #2) multiplies all decimals by 100 and stores
+    integers, i.e. ``scale=2``.
+    """
+
+    numpy_dtype = "<i8"
+    _min, _max = -(2**63), 2**63 - 1
+
+    def __init__(self, scale: int = 2):
+        if scale < 0:
+            raise StorageError("decimal scale must be non-negative")
+        self.scale = scale
+
+    def to_storage(self, value: float) -> int:
+        """Convert a real number to its scaled integer representation."""
+        return round(value * 10**self.scale)
+
+    def from_storage(self, stored: int) -> float:
+        """Convert a stored scaled integer back to a real number."""
+        return stored / 10**self.scale
+
+    def __repr__(self) -> str:
+        return f"DecimalType(scale={self.scale})"
+
+
+class CharType(ColumnType):
+    """Fixed-length byte string (paper modification #1).
+
+    Shorter values are right-padded with spaces on storage; values longer
+    than the declared length are rejected.
+    """
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise StorageError("char length must be positive")
+        self.length = length
+
+    @property
+    def numpy_dtype(self) -> str:  # type: ignore[override]
+        return f"S{self.length}"
+
+    def validate(self, value: Any) -> bytes:
+        if isinstance(value, str):
+            value = value.encode("ascii")
+        if not isinstance(value, (bytes, bytearray)):
+            raise StorageError(f"{self!r} requires str/bytes, got {value!r}")
+        if len(value) > self.length:
+            raise StorageError(
+                f"value of length {len(value)} too long for {self!r}")
+        return bytes(value).ljust(self.length, b" ")
+
+    def __repr__(self) -> str:
+        return f"CharType({self.length})"

@@ -1,0 +1,53 @@
+"""Workload generators and query builders (paper §4.1.1).
+
+* :mod:`repro.workloads.tpch` — dbgen-lite for the modified LINEITEM and
+  PART tables (fixed-length chars, decimals x100 as integers, dates as
+  days since the epoch) plus TPC-H Q6 and Q14 builders.
+* :mod:`repro.workloads.synthetic` — the Synthetic64_R / Synthetic64_S
+  tables (64 integer columns) with controllable join selectivity, plus the
+  selection-with-join query builder.
+"""
+
+from repro.workloads.synthetic import (
+    SYNTHETIC64_R_ROWS_AT_SF1,
+    SYNTHETIC64_S_ROWS_AT_SF1,
+    generate_synthetic64_r,
+    generate_synthetic64_s,
+    synthetic64_r_schema,
+    synthetic64_s_schema,
+    synthetic_join_query,
+    synthetic_scan_query,
+)
+from repro.workloads.tpch import (
+    LINEITEM_ROWS_PER_SF,
+    PART_ROWS_PER_SF,
+    date_to_days,
+    generate_lineitem,
+    generate_part,
+    lineitem_schema,
+    part_schema,
+    q1_query,
+    q6_query,
+    q14_query,
+)
+
+__all__ = [
+    "LINEITEM_ROWS_PER_SF",
+    "PART_ROWS_PER_SF",
+    "SYNTHETIC64_R_ROWS_AT_SF1",
+    "SYNTHETIC64_S_ROWS_AT_SF1",
+    "date_to_days",
+    "generate_lineitem",
+    "generate_part",
+    "generate_synthetic64_r",
+    "generate_synthetic64_s",
+    "lineitem_schema",
+    "part_schema",
+    "q1_query",
+    "q6_query",
+    "q14_query",
+    "synthetic64_r_schema",
+    "synthetic64_s_schema",
+    "synthetic_join_query",
+    "synthetic_scan_query",
+]

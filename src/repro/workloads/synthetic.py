@@ -1,0 +1,132 @@
+"""The Synthetic64 tables and the selection-with-join query (§4.1.1, §4.2.2.1).
+
+Both tables have 64 integer columns. At the paper's full size,
+``Synthetic64_R`` has 1M tuples (~300 MB) and ``Synthetic64_S`` has 400M
+tuples (~120 GB); ``R.col_1`` is the primary key and ``S.col_2`` is a
+foreign key into it. ``S.col_3`` is uniform on [0, 100), so the predicate
+``S.col_3 < p`` selects exactly ~p% of S — the selectivity knob of Figure 5.
+
+Column names are prefixed ``r_`` / ``s_`` so the join output is unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Col, Compare, Const, JoinSpec, Query, AggSpec
+from repro.errors import PlanError
+from repro.storage import Column, Int32Type, Schema
+
+#: Paper-scale cardinalities (scale factor 1.0).
+SYNTHETIC64_R_ROWS_AT_SF1 = 1_000_000
+SYNTHETIC64_S_ROWS_AT_SF1 = 400_000_000
+
+#: Number of integer columns in both tables.
+COLUMN_COUNT = 64
+
+
+def synthetic64_r_schema() -> Schema:
+    """Schema of Synthetic64_R: r_col_1 .. r_col_64 (r_col_1 is the PK)."""
+    return Schema([Column(f"r_col_{i}", Int32Type())
+                   for i in range(1, COLUMN_COUNT + 1)])
+
+
+def synthetic64_s_schema() -> Schema:
+    """Schema of Synthetic64_S: s_col_1 .. s_col_64 (s_col_2 is the FK)."""
+    return Schema([Column(f"s_col_{i}", Int32Type())
+                   for i in range(1, COLUMN_COUNT + 1)])
+
+
+def generate_synthetic64_r(scale_factor: float,
+                           seed: int = 64001) -> np.ndarray:
+    """Generate R rows; ``r_col_1`` is a dense primary key 1..N."""
+    n = _row_count(SYNTHETIC64_R_ROWS_AT_SF1, scale_factor)
+    rng = np.random.default_rng(seed)
+    schema = synthetic64_r_schema()
+    rows = np.empty(n, dtype=schema.numpy_dtype())
+    rows["r_col_1"] = np.arange(1, n + 1)
+    for i in range(2, COLUMN_COUNT + 1):
+        rows[f"r_col_{i}"] = rng.integers(0, 1_000_000, n)
+    return rows
+
+
+def generate_synthetic64_s(scale_factor: float, r_row_count: int,
+                           seed: int = 64002) -> np.ndarray:
+    """Generate S rows.
+
+    ``s_col_2`` is a foreign key uniform over R's keys (every S row has
+    exactly one match, as in the paper's plans); ``s_col_3`` is uniform on
+    [0, 100) so ``s_col_3 < p`` selects ~p%.
+    """
+    if r_row_count < 1:
+        raise PlanError("S needs a non-empty R to reference")
+    n = _row_count(SYNTHETIC64_S_ROWS_AT_SF1, scale_factor)
+    rng = np.random.default_rng(seed)
+    schema = synthetic64_s_schema()
+    rows = np.empty(n, dtype=schema.numpy_dtype())
+    rows["s_col_1"] = np.arange(1, n + 1)
+    rows["s_col_2"] = rng.integers(1, r_row_count + 1, n)
+    rows["s_col_3"] = rng.integers(0, 100, n)
+    for i in range(4, COLUMN_COUNT + 1):
+        rows[f"s_col_{i}"] = rng.integers(0, 1_000_000, n)
+    return rows
+
+
+def synthetic_join_query(selectivity_percent: float) -> Query:
+    """The §4.2.2.1 selection-with-join query::
+
+        SELECT S.col_1, R.col_2
+        FROM synthetic64_r R, synthetic64_s S
+        WHERE R.col_1 = S.col_2 AND S.col_3 < [VALUE]
+
+    ``selectivity_percent`` sets [VALUE] directly (s_col_3 is uniform on
+    [0, 100)).
+    """
+    if not 0 <= selectivity_percent <= 100:
+        raise PlanError("selectivity must be within [0, 100] percent")
+    return Query(
+        name=f"synthetic-join-{selectivity_percent:g}pct",
+        table="synthetic64_s",
+        predicate=Compare(Col("s_col_3"), "<",
+                          Const(int(selectivity_percent))),
+        join=JoinSpec(build_table="synthetic64_r", build_key="r_col_1",
+                      probe_key="s_col_2", payload=("r_col_2",)),
+        select=(("s_col_1", Col("s_col_1")), ("r_col_2", Col("r_col_2"))),
+    )
+
+
+def synthetic_scan_query(selectivity_percent: float,
+                         aggregate: bool = False) -> Query:
+    """Single-table scan at a chosen selectivity (SIGMOD'13 sweeps).
+
+    With ``aggregate=True`` the qualifying rows fold into one SUM (the
+    "with aggregation" variant); otherwise whole qualifying tuples (all 64
+    columns, as in a SELECT *) are returned to the host — which is what
+    makes the Smart SSD *lose* at high selectivities: the device pays to
+    materialize and ship everything it scanned.
+    """
+    if not 0 <= selectivity_percent <= 100:
+        raise PlanError("selectivity must be within [0, 100] percent")
+    predicate = Compare(Col("s_col_3"), "<", Const(int(selectivity_percent)))
+    if aggregate:
+        return Query(
+            name=f"synthetic-scan-agg-{selectivity_percent:g}pct",
+            table="synthetic64_s",
+            predicate=predicate,
+            aggregates=(AggSpec("sum", Col("s_col_4"), "total"),),
+        )
+    all_columns = tuple(
+        (f"s_col_{i}", Col(f"s_col_{i}"))
+        for i in range(1, COLUMN_COUNT + 1))
+    return Query(
+        name=f"synthetic-scan-{selectivity_percent:g}pct",
+        table="synthetic64_s",
+        predicate=predicate,
+        select=all_columns,
+    )
+
+
+def _row_count(base: int, scale_factor: float) -> int:
+    if scale_factor <= 0:
+        raise PlanError("scale factor must be positive")
+    return max(1, int(base * scale_factor))

@@ -1,0 +1,333 @@
+"""TPC-H dbgen-lite: LINEITEM and PART with the paper's modifications.
+
+§4.1.1's changes to the standard TPC-H schema:
+
+1. variable-length columns become fixed-length char strings,
+2. all decimals are multiplied by 100 and stored as integers,
+3. all dates become the number of days since the last epoch.
+
+The modified LINEITEM record is 145 bytes, which yields the 51 tuples per
+NSM page that §4.2.1 quotes for Q6. Generation is vectorized and seeded, so
+any scale factor reproduces byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.engine import (
+    Add,
+    AggSpec,
+    CaseWhen,
+    Col,
+    Compare,
+    Const,
+    JoinSpec,
+    LikePrefix,
+    Mul,
+    Query,
+    Sub,
+    and_all,
+)
+from repro.errors import PlanError
+from repro.storage import (
+    CharType,
+    Column,
+    DateType,
+    DecimalType,
+    Int32Type,
+    Int64Type,
+    Schema,
+)
+
+#: TPC-H cardinalities at scale factor 1.
+LINEITEM_ROWS_PER_SF = 6_000_000
+PART_ROWS_PER_SF = 200_000
+
+#: The decimal scale of every money/percentage column (modification #2).
+DECIMAL = DecimalType(scale=2)
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+#: TPC-H order dates span 1992-01-01 .. 1998-08-02; ship dates trail order
+#: dates by 1..121 days.
+_ORDERDATE_LO = datetime.date(1992, 1, 1)
+_ORDERDATE_HI = datetime.date(1998, 8, 2)
+
+_TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                    "PROMO"]
+_TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+_SHIPINSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+_SHIPMODE = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_CONTAINERS = ["SM CASE", "SM BOX", "LG CASE", "LG BOX", "MED BAG",
+               "JUMBO JAR", "WRAP PKG"]
+
+
+def date_to_days(year: int, month: int, day: int) -> int:
+    """Days since 1970-01-01 (modification #3's storage form)."""
+    return (datetime.date(year, month, day) - _EPOCH).days
+
+
+def lineitem_schema() -> Schema:
+    """The modified LINEITEM schema (145-byte records)."""
+    return Schema([
+        Column("l_orderkey", Int64Type()),
+        Column("l_partkey", Int32Type()),
+        Column("l_suppkey", Int32Type()),
+        Column("l_linenumber", Int32Type()),
+        Column("l_quantity", DECIMAL),
+        Column("l_extendedprice", DECIMAL),
+        Column("l_discount", DECIMAL),
+        Column("l_tax", DECIMAL),
+        Column("l_returnflag", CharType(1)),
+        Column("l_linestatus", CharType(1)),
+        Column("l_shipdate", DateType()),
+        Column("l_commitdate", DateType()),
+        Column("l_receiptdate", DateType()),
+        Column("l_shipinstruct", CharType(25)),
+        Column("l_shipmode", CharType(10)),
+        Column("l_comment", CharType(44)),
+    ])
+
+
+def part_schema() -> Schema:
+    """The modified PART schema (164-byte records)."""
+    return Schema([
+        Column("p_partkey", Int32Type()),
+        Column("p_name", CharType(55)),
+        Column("p_mfgr", CharType(25)),
+        Column("p_brand", CharType(10)),
+        Column("p_type", CharType(25)),
+        Column("p_size", Int32Type()),
+        Column("p_container", CharType(10)),
+        Column("p_retailprice", DECIMAL),
+        Column("p_comment", CharType(23)),
+    ])
+
+
+def _choice(rng: np.random.Generator, pool: list[str], n: int,
+            width: int) -> np.ndarray:
+    values = np.array([s.encode("ascii").ljust(width) for s in pool],
+                      dtype=f"S{width}")
+    return values[rng.integers(0, len(pool), n)]
+
+
+def generate_lineitem(scale_factor: float, seed: int = 20130622
+                      ) -> np.ndarray:
+    """Generate LINEITEM rows at the given scale factor (vectorized)."""
+    if scale_factor <= 0:
+        raise PlanError("scale factor must be positive")
+    n = int(LINEITEM_ROWS_PER_SF * scale_factor)
+    part_count = max(1, int(PART_ROWS_PER_SF * scale_factor))
+    rng = np.random.default_rng(seed)
+    schema = lineitem_schema()
+    rows = np.empty(n, dtype=schema.numpy_dtype())
+
+    # ~4 lineitems per order on average; keys ascend like dbgen output.
+    rows["l_orderkey"] = np.sort(rng.integers(1, max(2, n // 4), n)) * 4
+    rows["l_partkey"] = rng.integers(1, part_count + 1, n)
+    rows["l_suppkey"] = rng.integers(1, max(2, part_count // 20), n)
+    rows["l_linenumber"] = rng.integers(1, 8, n)
+
+    quantity = rng.integers(1, 51, n)                       # 1..50
+    rows["l_quantity"] = quantity * 100                     # x100 storage
+    retail = rng.integers(90_000, 190_000, n)               # 900.00-1900.00
+    rows["l_extendedprice"] = quantity * retail
+    rows["l_discount"] = rng.integers(0, 11, n)             # 0.00..0.10
+    rows["l_tax"] = rng.integers(0, 9, n)                   # 0.00..0.08
+    rows["l_returnflag"] = _choice(rng, ["A", "N", "R"], n, 1)
+    rows["l_linestatus"] = _choice(rng, ["O", "F"], n, 1)
+
+    order_lo = (_ORDERDATE_LO - _EPOCH).days
+    order_hi = (_ORDERDATE_HI - _EPOCH).days
+    orderdate = rng.integers(order_lo, order_hi + 1, n)
+    rows["l_shipdate"] = orderdate + rng.integers(1, 122, n)
+    rows["l_commitdate"] = orderdate + rng.integers(30, 91, n)
+    rows["l_receiptdate"] = rows["l_shipdate"] + rng.integers(1, 31, n)
+
+    rows["l_shipinstruct"] = _choice(rng, _SHIPINSTRUCT, n, 25)
+    rows["l_shipmode"] = _choice(rng, _SHIPMODE, n, 10)
+    rows["l_comment"] = _choice(
+        rng, ["carefully ironic packages nag", "furiously bold deposits",
+              "quickly express requests haggle", "silent foxes detect"],
+        n, 44)
+    return rows
+
+
+def generate_part(scale_factor: float, seed: int = 19920101) -> np.ndarray:
+    """Generate PART rows at the given scale factor (vectorized)."""
+    if scale_factor <= 0:
+        raise PlanError("scale factor must be positive")
+    n = max(1, int(PART_ROWS_PER_SF * scale_factor))
+    rng = np.random.default_rng(seed)
+    schema = part_schema()
+    rows = np.empty(n, dtype=schema.numpy_dtype())
+
+    rows["p_partkey"] = np.arange(1, n + 1)
+    rows["p_name"] = _choice(
+        rng, ["goldenrod lavender spring chocolate",
+              "blush thistle blue yellow", "dark slate grey sienna",
+              "midnight linen almond tomato"], n, 55)
+    rows["p_mfgr"] = _choice(
+        rng, [f"Manufacturer#{i}" for i in range(1, 6)], n, 25)
+    rows["p_brand"] = _choice(
+        rng, [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)],
+        n, 10)
+    # p_type: three syllables; PROMO leads 1/6 of the time, as in dbgen.
+    s1 = rng.integers(0, len(_TYPE_SYLLABLE_1), n)
+    s2 = rng.integers(0, len(_TYPE_SYLLABLE_2), n)
+    s3 = rng.integers(0, len(_TYPE_SYLLABLE_3), n)
+    types = np.array(
+        [f"{a} {b} {c}".encode("ascii").ljust(25)
+         for a in _TYPE_SYLLABLE_1
+         for b in _TYPE_SYLLABLE_2
+         for c in _TYPE_SYLLABLE_3], dtype="S25")
+    index = (s1 * len(_TYPE_SYLLABLE_2) + s2) * len(_TYPE_SYLLABLE_3) + s3
+    rows["p_type"] = types[index]
+    rows["p_size"] = rng.integers(1, 51, n)
+    rows["p_container"] = _choice(rng, _CONTAINERS, n, 10)
+    rows["p_retailprice"] = rng.integers(90_000, 190_000, n)
+    rows["p_comment"] = _choice(
+        rng, ["final deposits", "ironic pinto beans", "regular packages"],
+        n, 23)
+    return rows
+
+
+def q6_query(year: int = 1994, discount: float = 0.06,
+             quantity: int = 24) -> Query:
+    """TPC-H Q6 (§4.2.1)::
+
+        SELECT SUM(l_extendedprice * l_discount)
+        FROM lineitem
+        WHERE l_shipdate >= '<year>-01-01'
+          AND l_shipdate <  '<year+1>-01-01'
+          AND l_discount > <discount - 0.01>
+          AND l_discount < <discount + 0.01>
+          AND l_quantity < <quantity>
+
+    Constants are converted to the modified storage forms (days since
+    epoch, x100 integers).
+    """
+    disc = DECIMAL.to_storage(discount)
+    return Query(
+        name="tpch-q6",
+        table="lineitem",
+        predicate=and_all([
+            Compare(Col("l_shipdate"), ">=", Const(date_to_days(year, 1, 1))),
+            Compare(Col("l_shipdate"), "<",
+                    Const(date_to_days(year + 1, 1, 1))),
+            Compare(Col("l_discount"), ">", Const(disc - 1)),
+            Compare(Col("l_discount"), "<", Const(disc + 1)),
+            Compare(Col("l_quantity"), "<",
+                    Const(DECIMAL.to_storage(quantity))),
+        ]),
+        aggregates=(
+            AggSpec("sum", Mul(Col("l_extendedprice"), Col("l_discount")),
+                    "revenue_scaled"),
+        ),
+        # Both factors carry scale 2, so the stored sum carries scale 4.
+        finalize=lambda v: {"revenue": v["revenue_scaled"] / 10**4},
+    )
+
+
+def q1_query(delta_days: int = 90) -> Query:
+    """TPC-H Q1 (pricing summary report) — an extension workload::
+
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity), SUM(l_extendedprice),
+               SUM(l_extendedprice * (1 - l_discount)),
+               SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+               AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount),
+               COUNT(*)
+        FROM lineitem
+        WHERE l_shipdate <= date '1998-12-01' - interval '<delta>' day
+        GROUP BY l_returnflag, l_linestatus
+
+    Not in the paper's evaluation, but squarely inside the Smart SSD's
+    sweet spot: a full scan folding into a handful of grouped aggregates.
+    Averages and descaling happen in ``finalize`` (per group).
+    """
+    cutoff = date_to_days(1998, 12, 1) - delta_days
+    one_minus_discount = Sub(Const(100), Col("l_discount"))
+    one_plus_tax = Add(Const(100), Col("l_tax"))
+    disc_price = Mul(Col("l_extendedprice"), one_minus_discount)
+    charge = Mul(disc_price, one_plus_tax)
+
+    def finalize(values: dict) -> dict:
+        count = values["count_order"]
+        return {
+            "sum_qty": values["sum_qty_scaled"] / 100,
+            "sum_base_price": values["sum_base_scaled"] / 100,
+            "sum_disc_price": values["sum_disc_scaled"] / 10**4,
+            "sum_charge": values["sum_charge_scaled"] / 10**6,
+            "avg_qty": values["sum_qty_scaled"] / 100 / count if count
+            else None,
+            "avg_price": values["sum_base_scaled"] / 100 / count if count
+            else None,
+            "avg_disc": values["sum_disc_only_scaled"] / 100 / count
+            if count else None,
+            "count_order": count,
+        }
+
+    return Query(
+        name="tpch-q1",
+        table="lineitem",
+        predicate=Compare(Col("l_shipdate"), "<=", Const(cutoff)),
+        aggregates=(
+            AggSpec("sum", Col("l_quantity"), "sum_qty_scaled"),
+            AggSpec("sum", Col("l_extendedprice"), "sum_base_scaled"),
+            AggSpec("sum", disc_price, "sum_disc_scaled"),
+            AggSpec("sum", charge, "sum_charge_scaled"),
+            AggSpec("sum", Col("l_discount"), "sum_disc_only_scaled"),
+            AggSpec("count", None, "count_order"),
+        ),
+        group_by=("l_returnflag", "l_linestatus"),
+        finalize=finalize,
+    )
+
+
+def q14_query(year: int = 1995, month: int = 9) -> Query:
+    """TPC-H Q14 (§4.2.2.2)::
+
+        SELECT 100 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+                   / SUM(l_extendedprice * (1 - l_discount))
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= '<year>-<month>-01'
+          AND l_shipdate <  one month later
+
+    In x100 storage, ``1 - l_discount`` becomes ``100 - l_discount``; the
+    scales cancel in the final ratio.
+    """
+    next_year, next_month = (year + 1, 1) if month == 12 else (year, month + 1)
+    one_minus_discount = Sub(Const(100), Col("l_discount"))
+    revenue = Mul(Col("l_extendedprice"), one_minus_discount)
+    promo_revenue = CaseWhen(LikePrefix(Col("p_type"), "PROMO"),
+                             revenue, Const(0))
+    return Query(
+        name="tpch-q14",
+        table="lineitem",
+        predicate=and_all([
+            Compare(Col("l_shipdate"), ">=",
+                    Const(date_to_days(year, month, 1))),
+            Compare(Col("l_shipdate"), "<",
+                    Const(date_to_days(next_year, next_month, 1))),
+        ]),
+        join=JoinSpec(build_table="part", build_key="p_partkey",
+                      probe_key="l_partkey", payload=("p_type",)),
+        aggregates=(
+            AggSpec("sum", promo_revenue, "promo_scaled"),
+            AggSpec("sum", revenue, "total_scaled"),
+        ),
+        finalize=lambda v: {
+            "promo_revenue": (100.0 * v["promo_scaled"] / v["total_scaled"]
+                              if v["total_scaled"] else 0.0),
+        },
+    )

@@ -1,0 +1,112 @@
+"""Stateful property tests: the buffer pool against a dict model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.host.bufferpool import BufferPool, BufferPoolError
+from repro.storage.page import PAGE_SIZE
+
+CAPACITY_FRAMES = 6
+LPNS = st.integers(0, 15)
+
+
+def page_of(tag: int) -> bytes:
+    return (tag & 0xFF).to_bytes(1, "little") * PAGE_SIZE
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """The pool may evict anything unpinned, but what it *does* return must
+    be the latest inserted bytes, dirty tracking must be exact, and pinned
+    pages must never disappear."""
+
+    def __init__(self):
+        super().__init__()
+        self.pool = BufferPool(CAPACITY_FRAMES * PAGE_SIZE)
+        self.model: dict[int, int] = {}   # lpn -> latest tag
+        self.dirty: set[int] = set()
+        self.pinned: dict[int, int] = {}  # lpn -> pin count
+        self.counter = 0
+
+    def _unevictable(self) -> set[int]:
+        return set(self.pinned) | {lpn for lpn in self.dirty
+                                   if self.pool.contains("d", lpn)}
+
+    @rule(lpn=LPNS, dirty=st.booleans())
+    def insert(self, lpn, dirty):
+        blockers = self._unevictable()
+        if (len(blockers) >= CAPACITY_FRAMES
+                and lpn not in blockers
+                and not self.pool.contains("d", lpn)):
+            return  # would have nothing evictable
+        was_resident = self.pool.contains("d", lpn)
+        self.counter += 1
+        self.pool.insert("d", lpn, page_of(self.counter), dirty=dirty)
+        self.model[lpn] = self.counter
+        if dirty:
+            self.dirty.add(lpn)
+        elif not was_resident:
+            # A fresh (clean) frame replaces whatever dirtiness the page
+            # had before it was evicted... which cannot happen for dirty
+            # pages anymore, but keep the model general.
+            self.dirty.discard(lpn)
+
+    @rule(lpn=LPNS)
+    def lookup(self, lpn):
+        data = self.pool.lookup("d", lpn)
+        if data is not None:
+            assert data == page_of(self.model[lpn])
+
+    @rule(lpn=LPNS)
+    def pin(self, lpn):
+        if self.pool.contains("d", lpn):
+            self.pool.pin("d", lpn)
+            self.pinned[lpn] = self.pinned.get(lpn, 0) + 1
+
+    @rule(lpn=LPNS)
+    def unpin(self, lpn):
+        if self.pinned.get(lpn, 0) > 0:
+            self.pool.unpin("d", lpn)
+            self.pinned[lpn] -= 1
+            if self.pinned[lpn] == 0:
+                del self.pinned[lpn]
+
+    @rule(lpn=LPNS)
+    def flush(self, lpn):
+        if self.pool.contains("d", lpn) and lpn in self.dirty:
+            data = self.pool.flush("d", lpn)
+            assert data == page_of(self.model[lpn])
+            self.dirty.discard(lpn)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.pool) <= CAPACITY_FRAMES
+
+    @invariant()
+    def pinned_pages_resident(self):
+        for lpn in self.pinned:
+            assert self.pool.contains("d", lpn)
+
+    @invariant()
+    def dirty_pages_never_lost(self):
+        """Unflushed updates must stay resident (durability)."""
+        for lpn in self.dirty:
+            assert self.pool.contains("d", lpn)
+            assert self.pool.lookup("d", lpn) == page_of(self.model[lpn])
+
+    @invariant()
+    def dirty_set_is_subset_of_tracked(self):
+        reported = self.pool.dirty_lpns("d")
+        # Anything the pool says is dirty, the model marked dirty and it is
+        # still resident.
+        for lpn in reported:
+            assert lpn in self.dirty
+        # Anything dirty AND resident must be reported.
+        for lpn in self.dirty:
+            if self.pool.contains("d", lpn):
+                assert lpn in reported
+
+
+TestBufferPoolMachine = BufferPoolMachine.TestCase
+TestBufferPoolMachine.settings = settings(max_examples=30, deadline=None,
+                                          stateful_step_count=60)

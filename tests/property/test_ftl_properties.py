@@ -1,0 +1,115 @@
+"""Property tests: the FTL behaves like a durable logical address space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.flash import NandArray, NandGeometry, PageMappedFtl
+from repro.storage.page import PAGE_SIZE
+
+
+def make_ftl():
+    geometry = NandGeometry(channels=2, chips_per_channel=2,
+                            blocks_per_chip=8, pages_per_block=4,
+                            page_nbytes=PAGE_SIZE)
+    nand = NandArray(geometry)
+    return PageMappedFtl(geometry, nand, overprovision=0.3), nand
+
+
+def page_of(tag: int) -> bytes:
+    return (tag & 0xFFFFFFFF).to_bytes(4, "little") * (PAGE_SIZE // 4)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 1_000_000)),
+                min_size=1, max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_reads_return_last_write(operations):
+    """After any in-capacity write sequence, every LPN reads back its most
+    recent data — regardless of how much GC happened underneath."""
+    ftl, __ = make_ftl()
+    expected = {}
+    for lpn, tag in operations:
+        if (lpn not in expected
+                and len(expected) >= ftl.logical_capacity_pages):
+            continue  # respect the exported capacity
+        ftl.write(lpn, page_of(tag))
+        expected[lpn] = tag
+    for lpn, tag in expected.items():
+        assert ftl.read(lpn) == page_of(tag)
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 999)),
+                min_size=1, max_size=120))
+@settings(max_examples=30, deadline=None)
+def test_accounting_invariants(operations):
+    ftl, nand = make_ftl()
+    for lpn, tag in operations:
+        ftl.write(lpn, page_of(tag))
+    stats = ftl.stats
+    assert stats.write_amplification >= 1.0
+    assert nand.programs == stats.host_writes + stats.gc_relocations
+    assert nand.erases == stats.erases
+    assert ftl.mapped_pages <= ftl.logical_capacity_pages
+
+
+class FtlMachine(RuleBasedStateMachine):
+    """Stateful fuzz: writes, overwrites, and trims against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.ftl, self.nand = make_ftl()
+        self.model: dict[int, int] = {}
+        self.counter = 0
+
+    @rule(lpn=st.integers(0, 12))
+    def write(self, lpn):
+        if (lpn not in self.model
+                and len(self.model) >= self.ftl.logical_capacity_pages):
+            return
+        self.counter += 1
+        self.ftl.write(lpn, page_of(self.counter))
+        self.model[lpn] = self.counter
+
+    @rule(lpn=st.integers(0, 12))
+    def trim(self, lpn):
+        self.ftl.trim(lpn)
+        self.model.pop(lpn, None)
+
+    @invariant()
+    def reads_match_model(self):
+        for lpn, tag in self.model.items():
+            assert self.ftl.read(lpn) == page_of(tag)
+        assert self.ftl.mapped_pages == len(self.model)
+
+    @invariant()
+    def physical_accounting_consistent(self):
+        stats = self.ftl.stats
+        assert self.nand.programs == (stats.host_writes
+                                      + stats.gc_relocations)
+
+    @invariant()
+    def per_die_bookkeeping_consistent(self):
+        from repro.flash.nand import PageState
+        geometry = self.ftl.geometry
+        for die in self.ftl._dies:
+            # Every die keeps its dedicated erased spare block.
+            assert die.spare_block >= 0
+            spare_first = geometry.ppn(die.channel, die.chip,
+                                       die.spare_block, 0)
+            for ppn in range(spare_first,
+                             spare_first + geometry.pages_per_block):
+                assert self.nand.state(ppn) is PageState.ERASED
+            # The incremental invalid-page counter matches ground truth.
+            true_invalid = 0
+            for block in range(geometry.blocks_per_chip):
+                first = geometry.ppn(die.channel, die.chip, block, 0)
+                true_invalid += sum(
+                    self.nand.state(ppn) is PageState.INVALID
+                    for ppn in range(first,
+                                     first + geometry.pages_per_block))
+            assert die.invalid_pages == true_invalid
+
+
+TestFtlMachine = FtlMachine.TestCase
+TestFtlMachine.settings = settings(max_examples=20, deadline=None,
+                                   stateful_step_count=40)

@@ -1,0 +1,70 @@
+"""Property tests: simulation-kernel ordering and accounting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BusyTracker, Resource, Simulator, seize
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.timeout(delay).callbacks.append(
+            lambda ev, d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, __ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    for fire_time, delay in fired:
+        assert fire_time == pytest.approx(delay)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_resource_conservation(holds, capacity):
+    """Total busy time equals the sum of holds; makespan is bounded by
+    list-scheduling limits."""
+    sim = Simulator()
+    resource = Resource(sim, capacity)
+
+    def worker(hold):
+        yield from seize(resource, hold)
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    total = sum(holds)
+    busy = resource.busy.busy_time(sim.now)
+    assert busy == pytest.approx(total)
+    # Work-conservation bounds for greedy scheduling.
+    assert sim.now >= total / capacity - 1e-9
+    assert sim.now <= total + 1e-9
+    assert sim.now >= max(holds) - 1e-9
+    assert resource.in_use == 0
+
+
+@given(st.lists(st.tuples(st.floats(0.0, 100.0), st.integers(-3, 3)),
+                min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_busy_tracker_integral_bounds(events):
+    tracker = BusyTracker()
+    now = 0.0
+    level = 0.0
+    max_level = 0.0
+    for dt, delta in sorted(events, key=lambda e: e[0]):
+        now = max(now, dt)
+        delta = max(delta, -int(level))  # level never goes negative
+        tracker.adjust(now, delta)
+        level += delta
+        max_level = max(max_level, level)
+    horizon = now + 10.0
+    busy = tracker.busy_time(horizon)
+    assert busy >= -1e-9
+    assert busy <= max_level * horizon + 1e-6

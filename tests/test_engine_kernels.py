@@ -1,0 +1,351 @@
+"""Unit tests for page kernels, hash tables, and the reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AggSpec,
+    AggState,
+    Col,
+    Compare,
+    Const,
+    HashTable,
+    JoinSpec,
+    Mul,
+    PageKernel,
+    Query,
+    and_all,
+    build_hash_table,
+    run_reference,
+)
+from repro.errors import PlanError
+from repro.storage import (
+    Column,
+    Int32Type,
+    Int64Type,
+    Layout,
+    Schema,
+    build_heap_pages,
+)
+
+
+@pytest.fixture
+def fact_schema():
+    return Schema([
+        Column("id", Int64Type()),
+        Column("fk", Int32Type()),
+        Column("val", Int32Type()),
+    ])
+
+
+@pytest.fixture
+def dim_schema():
+    return Schema([
+        Column("pk", Int32Type()),
+        Column("label", Int32Type()),
+    ])
+
+
+@pytest.fixture
+def fact_rows(fact_schema):
+    n = 500
+    return fact_schema.rows_to_array(
+        [(i, i % 20, i % 100) for i in range(n)])
+
+
+@pytest.fixture
+def dim_rows(dim_schema):
+    return dim_schema.rows_to_array([(i, 1000 + i) for i in range(20)])
+
+
+def pages_of(schema, rows, layout):
+    return build_heap_pages(schema, rows, layout)
+
+
+def run_kernel(query, schema, rows, layout, hash_table=None):
+    kernel = PageKernel(query, schema, layout, hash_table=hash_table)
+    partials = [kernel.process_page(p)
+                for p in pages_of(schema, rows, layout)]
+    return kernel, partials
+
+
+def merge_rows(partials, names):
+    return {name: np.concatenate([p.columns[name] for p in partials])
+            for name in names}
+
+
+def merge_aggs(partials, aggs):
+    state = AggState()
+    for partial in partials:
+        state.merge(partial.agg, aggs)
+    return state
+
+
+@pytest.mark.parametrize("layout", [Layout.NSM, Layout.PAX])
+class TestFilterProject:
+    def test_matches_reference(self, fact_schema, fact_rows, layout):
+        query = Query(
+            table="fact",
+            predicate=Compare(Col("val"), "<", Const(10)),
+            select=(("id", Col("id")), ("boosted", Mul(Col("val"), Const(2)))),
+        )
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        got = merge_rows(partials, ["id", "boosted"])
+        expected = run_reference(query, {"fact": fact_schema},
+                                 {"fact": fact_rows})
+        assert np.array_equal(got["id"], expected["id"])
+        assert np.array_equal(got["boosted"], expected["boosted"])
+
+    def test_no_predicate_returns_everything(self, fact_schema, fact_rows,
+                                             layout):
+        query = Query(table="fact", select=(("id", Col("id")),))
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        got = merge_rows(partials, ["id"])
+        assert np.array_equal(got["id"], fact_rows["id"])
+
+    def test_empty_result(self, fact_schema, fact_rows, layout):
+        query = Query(table="fact",
+                      predicate=Compare(Col("val"), "<", Const(0)),
+                      select=(("id", Col("id")),))
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        got = merge_rows(partials, ["id"])
+        assert len(got["id"]) == 0
+
+    def test_touched_bytes_accounted(self, fact_schema, fact_rows, layout):
+        query = Query(table="fact",
+                      predicate=Compare(Col("val"), "<", Const(10)),
+                      select=(("id", Col("id")),))
+        from repro.storage.layout import tuples_per_page
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        cap = tuples_per_page(layout, fact_schema)
+        first_page_tuples = min(cap, len(fact_rows))
+        if layout is Layout.PAX:
+            # Only the id (8B) and val (4B) minipages are touched.
+            assert partials[0].touched_nbytes == first_page_tuples * (8 + 4)
+        else:
+            from repro.storage.nsm import record_stride
+            assert partials[0].touched_nbytes == (
+                first_page_tuples * record_stride(fact_schema))
+
+    def test_counters_track_parse_work(self, fact_schema, fact_rows, layout):
+        query = Query(table="fact", select=(("id", Col("id")),))
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        total = sum(p.counters.nsm_tuples_parsed for p in partials)
+        if layout is Layout.NSM:
+            assert total == len(fact_rows)
+        else:
+            assert total == 0
+        pages = sum(p.counters.pages_parsed for p in partials)
+        assert pages == len(pages_of(fact_schema, fact_rows, layout))
+
+
+class TestTouchedBytesContrast:
+    def test_pax_touches_less_than_nsm(self, fact_schema, fact_rows):
+        query = Query(table="fact",
+                      predicate=Compare(Col("val"), "<", Const(10)),
+                      select=(("id", Col("id")),))
+        __, nsm = run_kernel(query, fact_schema, fact_rows, Layout.NSM)
+        __, pax = run_kernel(query, fact_schema, fact_rows, Layout.PAX)
+        assert (sum(p.touched_nbytes for p in pax)
+                < sum(p.touched_nbytes for p in nsm))
+
+
+@pytest.mark.parametrize("layout", [Layout.NSM, Layout.PAX])
+class TestAggregates:
+    def test_sum_count_min_max_match_reference(self, fact_schema, fact_rows,
+                                               layout):
+        query = Query(
+            table="fact",
+            predicate=Compare(Col("val"), ">=", Const(50)),
+            aggregates=(
+                AggSpec("sum", Mul(Col("val"), Const(3)), "total"),
+                AggSpec("count", None, "n"),
+                AggSpec("min", Col("id"), "lo"),
+                AggSpec("max", Col("id"), "hi"),
+            ),
+        )
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        state = merge_aggs(partials, query.aggregates)
+        expected = run_reference(query, {"fact": fact_schema},
+                                 {"fact": fact_rows})
+        assert state.values["total"] == expected["total"]
+        assert state.values["n"] == expected["n"]
+        assert state.values["lo"] == expected["lo"]
+        assert state.values["hi"] == expected["hi"]
+
+    def test_empty_aggregate(self, fact_schema, fact_rows, layout):
+        query = Query(table="fact",
+                      predicate=Compare(Col("val"), "<", Const(0)),
+                      aggregates=(AggSpec("sum", Col("val"), "s"),
+                                  AggSpec("count", None, "n"),
+                                  AggSpec("min", Col("val"), "lo")))
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        state = merge_aggs(partials, query.aggregates)
+        assert state.values["s"] == 0
+        assert state.values["n"] == 0
+        assert state.values["lo"] is None
+
+    def test_grouped_aggregate_matches_reference(self, fact_schema,
+                                                 fact_rows, layout):
+        query = Query(
+            table="fact",
+            predicate=Compare(Col("id"), "<", Const(200)),
+            aggregates=(AggSpec("sum", Col("val"), "s"),
+                        AggSpec("count", None, "n"),
+                        AggSpec("min", Col("val"), "lo"),
+                        AggSpec("max", Col("val"), "hi")),
+            group_by="fk",
+        )
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout)
+        state = merge_aggs(partials, query.aggregates)
+        expected = run_reference(query, {"fact": fact_schema},
+                                 {"fact": fact_rows})
+        assert set(state.groups) == set(expected)
+        for group, entry in expected.items():
+            for key, value in entry.items():
+                assert state.groups[group][key] == value
+
+
+@pytest.mark.parametrize("layout", [Layout.NSM, Layout.PAX])
+class TestHashJoin:
+    def make_query(self):
+        return Query(
+            table="fact",
+            predicate=Compare(Col("val"), "<", Const(30)),
+            join=JoinSpec(build_table="dim", build_key="pk",
+                          probe_key="fk", payload=("label",)),
+            select=(("id", Col("id")), ("label", Col("label"))),
+        )
+
+    def test_join_matches_reference(self, fact_schema, fact_rows, dim_schema,
+                                    dim_rows, layout):
+        query = self.make_query()
+        from repro.model import WorkCounters
+        counters = WorkCounters()
+        table = build_hash_table(
+            dim_schema, pages_of(dim_schema, dim_rows, layout), query.join,
+            counters, layout)
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout,
+                                  hash_table=table)
+        got = merge_rows(partials, ["id", "label"])
+        expected = run_reference(
+            query, {"fact": fact_schema, "dim": dim_schema},
+            {"fact": fact_rows, "dim": dim_rows})
+        assert np.array_equal(got["id"], expected["id"])
+        assert np.array_equal(got["label"], expected["label"])
+        assert counters.hash_builds == len(dim_rows)
+
+    def test_probe_counts_only_filter_survivors(self, fact_schema, fact_rows,
+                                                dim_schema, dim_rows, layout):
+        query = self.make_query()
+        from repro.model import WorkCounters
+        table = build_hash_table(
+            dim_schema, pages_of(dim_schema, dim_rows, layout), query.join,
+            WorkCounters(), layout)
+        __, partials = run_kernel(query, fact_schema, fact_rows, layout,
+                                  hash_table=table)
+        probes = sum(p.counters.hash_probes for p in partials)
+        survivors = int((fact_rows["val"] < 30).sum())
+        assert probes == survivors
+
+    def test_unmatched_probe_rows_dropped(self, fact_schema, dim_schema,
+                                          dim_rows, layout):
+        rows = fact_schema.rows_to_array(
+            [(1, 5, 1), (2, 99, 1), (3, 7, 1)])  # fk=99 has no dim match
+        query = Query(
+            table="fact",
+            join=JoinSpec(build_table="dim", build_key="pk",
+                          probe_key="fk", payload=("label",)),
+            select=(("id", Col("id")),),
+        )
+        from repro.model import WorkCounters
+        table = build_hash_table(
+            dim_schema, pages_of(dim_schema, dim_rows, layout), query.join,
+            WorkCounters(), layout)
+        __, partials = run_kernel(query, fact_schema, rows, layout,
+                                  hash_table=table)
+        got = merge_rows(partials, ["id"])
+        assert got["id"].tolist() == [1, 3]
+
+    def test_join_without_table_rejected(self, fact_schema, layout):
+        query = self.make_query()
+        with pytest.raises(PlanError):
+            PageKernel(query, fact_schema, layout, hash_table=None)
+
+
+class TestHashTable:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(PlanError):
+            HashTable(np.array([1, 1, 2]), {})
+
+    def test_probe_hits_and_misses(self):
+        table = HashTable(np.array([10, 20, 30]),
+                          {"v": np.array([1, 2, 3])})
+        match, positions = table.probe(np.array([20, 5, 30, 99]))
+        assert match.tolist() == [True, False, True, False]
+        assert table.payload["v"][positions[match]].tolist() == [2, 3]
+
+    def test_empty_table_probe(self):
+        table = HashTable(np.empty(0, dtype=np.int64), {})
+        match, __ = table.probe(np.array([1, 2]))
+        assert not match.any()
+
+    def test_nbytes_scales_with_entries(self):
+        small = HashTable(np.arange(10, dtype=np.int64),
+                          {"v": np.arange(10, dtype=np.int64)})
+        big = HashTable(np.arange(1000, dtype=np.int64),
+                        {"v": np.arange(1000, dtype=np.int64)})
+        assert big.nbytes > 50 * small.nbytes
+
+    def test_build_with_build_predicate(self):
+        dim_schema = Schema([Column("pk", Int32Type()),
+                             Column("label", Int32Type())])
+        rows = dim_schema.rows_to_array([(i, i * 10) for i in range(50)])
+        spec = JoinSpec(build_table="dim", build_key="pk", probe_key="fk",
+                        payload=("label",),
+                        build_predicate=Compare(Col("pk"), "<", Const(10)))
+        from repro.model import WorkCounters
+        counters = WorkCounters()
+        table = build_hash_table(
+            dim_schema, pages_of(dim_schema, rows, Layout.PAX), spec,
+            counters, Layout.PAX)
+        assert len(table) == 10
+        assert counters.hash_builds == 10
+
+
+class TestQueryValidation:
+    def test_select_and_aggregates_mutually_exclusive(self):
+        with pytest.raises(PlanError):
+            Query(table="t", select=(("a", Col("a")),),
+                  aggregates=(AggSpec("count", None, "n"),))
+        with pytest.raises(PlanError):
+            Query(table="t")
+
+    def test_group_by_requires_aggregates(self):
+        with pytest.raises(PlanError):
+            Query(table="t", select=(("a", Col("a")),), group_by="g")
+
+    def test_probe_side_columns_excludes_build_payload(self):
+        query = Query(
+            table="fact",
+            predicate=Compare(Col("val"), "<", Const(1)),
+            join=JoinSpec(build_table="dim", build_key="pk",
+                          probe_key="fk", payload=("label",)),
+            select=(("id", Col("id")), ("label", Col("label"))),
+        )
+        needed = query.probe_side_columns()
+        assert "label" not in needed
+        assert set(needed) == {"val", "fk", "id"}
+
+    def test_output_names(self):
+        query = Query(table="t", aggregates=(AggSpec("count", None, "n"),),
+                      group_by="g")
+        assert query.output_names() == ["g", "n"]
+
+    def test_bad_aggregate_kind_rejected(self):
+        with pytest.raises(PlanError):
+            AggSpec("median", Col("x"), "m")
+
+    def test_sum_without_expr_rejected(self):
+        with pytest.raises(PlanError):
+            AggSpec("sum", None, "s")

@@ -1,0 +1,124 @@
+"""Unit tests for flash-controller timing: interleaving and the DRAM bus."""
+
+import pytest
+
+from repro.flash import (
+    FlashController,
+    NandArray,
+    NandGeometry,
+    NandTiming,
+    PageMappedFtl,
+)
+from repro.sim import Simulator
+from repro.storage.page import PAGE_SIZE
+from repro.units import MB
+
+
+def make_controller(channels=4, chips=4, dram_rate=1560 * MB,
+                    verify_ecc=False):
+    sim = Simulator()
+    geometry = NandGeometry(channels=channels, chips_per_channel=chips,
+                            blocks_per_chip=16, pages_per_block=32)
+    timing = NandTiming()
+    nand = NandArray(geometry)
+    ftl = PageMappedFtl(geometry, nand)
+    controller = FlashController(sim, geometry, timing, nand, ftl,
+                                 dram_bus_rate=dram_rate,
+                                 verify_ecc=verify_ecc)
+    return sim, controller, ftl
+
+
+def load(ftl, count):
+    blank = bytes(PAGE_SIZE)
+    for lpn in range(count):
+        ftl.write(lpn, blank)
+
+
+class TestReadTiming:
+    def test_single_page_read_time(self):
+        sim, controller, ftl = make_controller()
+        load(ftl, 1)
+        proc = sim.process(controller.read_lpns([0]))
+        sim.run()
+        occupancy = controller.timing.channel_occupancy_per_read(
+            controller.geometry)
+        dma = PAGE_SIZE / controller.dram_bus.rate
+        assert sim.now == pytest.approx(occupancy + dma)
+        assert proc.value == [bytes(PAGE_SIZE)]
+
+    def test_striped_reads_use_channels_in_parallel(self):
+        """A striped 4-page read on 4 channels costs one channel slot, not
+        four."""
+        sim4, controller4, ftl4 = make_controller(channels=4)
+        load(ftl4, 4)
+        sim4.process(controller4.read_lpns([0, 1, 2, 3]))
+        sim4.run()
+
+        sim1, controller1, ftl1 = make_controller(channels=1)
+        load(ftl1, 4)
+        sim1.process(controller1.read_lpns([0, 1, 2, 3]))
+        sim1.run()
+
+        assert sim4.now < sim1.now
+        occupancy = controller4.timing.channel_occupancy_per_read(
+            controller4.geometry)
+        dma = 4 * PAGE_SIZE / controller4.dram_bus.rate
+        assert sim4.now == pytest.approx(occupancy + dma)
+
+    def test_dram_bus_serializes_concurrent_reads(self):
+        """Two concurrent big reads cannot beat the DRAM-bus rate."""
+        sim, controller, ftl = make_controller()
+        load(ftl, 256)
+
+        def reader(start):
+            yield from controller.read_lpns(list(range(start, start + 128)))
+
+        sim.process(reader(0))
+        sim.process(reader(128))
+        sim.run()
+        total_bytes = 256 * PAGE_SIZE
+        floor = total_bytes / controller.dram_bus.rate
+        assert sim.now >= floor
+        assert controller.dram_bus.bytes_moved == total_bytes
+
+    def test_internal_read_rate_formula(self):
+        __, controller, __ = make_controller(channels=8, chips=4)
+        # 8 channels x 400 MB/s = 3.2 GB/s aggregate, capped by the bus.
+        assert controller.internal_read_rate() == pytest.approx(1560 * MB)
+        __, slow, __ = make_controller(channels=1, chips=4)
+        assert slow.internal_read_rate() == pytest.approx(
+            PAGE_SIZE / slow.timing.channel_occupancy_per_read(slow.geometry))
+
+    def test_ecc_counts_checked_pages(self):
+        from repro.storage import Column, Int32Type, Layout, Schema, encode_page
+        sim, controller, ftl = make_controller(verify_ecc=True)
+        schema = Schema([Column("x", Int32Type())])
+        page = encode_page(Layout.NSM, schema,
+                           schema.rows_to_array([(1,)]))
+        ftl.write(0, page)
+        sim.process(controller.read_lpns([0]))
+        sim.run()
+        assert controller.ecc_pages_checked == 1
+
+
+class TestWriteTiming:
+    def test_write_round_trip_and_time(self):
+        sim, controller, ftl = make_controller()
+        data = [bytes([i]) * PAGE_SIZE for i in range(8)]
+        proc = sim.process(controller.write_lpns(list(range(8)), data))
+        sim.run()
+        assert sim.now > 0
+        for lpn, page in enumerate(data):
+            assert ftl.read(lpn) == page
+
+    def test_write_slower_than_read(self):
+        sim_w, controller_w, __ = make_controller()
+        data = [bytes(PAGE_SIZE)] * 32
+        sim_w.process(controller_w.write_lpns(list(range(32)), data))
+        sim_w.run()
+
+        sim_r, controller_r, ftl_r = make_controller()
+        load(ftl_r, 32)
+        sim_r.process(controller_r.read_lpns(list(range(32))))
+        sim_r.run()
+        assert sim_w.now > sim_r.now

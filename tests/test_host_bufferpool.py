@@ -1,0 +1,154 @@
+"""Unit tests for the buffer pool (clock eviction, pins, dirty tracking)."""
+
+import pytest
+
+from repro.host.bufferpool import BufferPool, BufferPoolError
+from repro.storage.page import PAGE_SIZE
+
+
+def pool(frames=4):
+    return BufferPool(frames * PAGE_SIZE)
+
+
+def page(tag):
+    return bytes([tag % 256]) * PAGE_SIZE
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        bp = pool()
+        assert bp.lookup("d", 1) is None
+        bp.insert("d", 1, page(1))
+        assert bp.lookup("d", 1) == page(1)
+        assert bp.hits == 1
+        assert bp.misses == 1
+
+    def test_contains_does_not_count(self):
+        bp = pool()
+        bp.insert("d", 1, page(1))
+        assert bp.contains("d", 1)
+        assert not bp.contains("d", 2)
+        assert bp.hits == 0 and bp.misses == 0
+
+    def test_reinsert_updates_data(self):
+        bp = pool()
+        bp.insert("d", 1, page(1))
+        bp.insert("d", 1, page(2))
+        assert bp.lookup("d", 1) == page(2)
+        assert len(bp) == 1
+
+    def test_devices_are_namespaced(self):
+        bp = pool()
+        bp.insert("a", 1, page(1))
+        bp.insert("b", 1, page(2))
+        assert bp.lookup("a", 1) == page(1)
+        assert bp.lookup("b", 1) == page(2)
+
+    def test_too_small_pool_rejected(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(PAGE_SIZE - 1)
+
+
+class TestEviction:
+    def test_capacity_respected(self):
+        bp = pool(frames=3)
+        for i in range(10):
+            bp.insert("d", i, page(i))
+        assert len(bp) == 3
+        assert bp.evictions == 7
+
+    def test_clock_gives_second_chance(self):
+        bp = pool(frames=3)
+        for i in (1, 2, 3):
+            bp.insert("d", i, page(i))
+        bp.insert("d", 4, page(4))  # full sweep clears refs, evicts page 1
+        assert not bp.contains("d", 1)
+        # State: 2 and 3 unreferenced, 4 referenced; the hand is at page 2.
+        bp.lookup("d", 2)           # re-reference page 2
+        bp.insert("d", 5, page(5))
+        # The hand skips the referenced page 2 (its second chance) and
+        # evicts the next unreferenced page, 3.
+        assert bp.contains("d", 2)
+        assert not bp.contains("d", 3)
+
+    def test_pinned_pages_never_evicted(self):
+        bp = pool(frames=2)
+        bp.insert("d", 1, page(1))
+        bp.pin("d", 1)
+        for i in range(2, 8):
+            bp.insert("d", i, page(i))
+        assert bp.contains("d", 1)
+        bp.unpin("d", 1)
+
+    def test_all_pinned_raises(self):
+        bp = pool(frames=2)
+        for i in (1, 2):
+            bp.insert("d", i, page(i))
+            bp.pin("d", i)
+        with pytest.raises(BufferPoolError, match="pinned"):
+            bp.insert("d", 3, page(3))
+
+
+class TestDirtyTracking:
+    def test_mark_and_flush(self):
+        bp = pool()
+        bp.insert("d", 5, page(5))
+        bp.mark_dirty("d", 5)
+        assert bp.dirty_lpns("d") == {5}
+        data = bp.flush("d", 5)
+        assert data == page(5)
+        assert bp.dirty_lpns("d") == set()
+
+    def test_insert_dirty(self):
+        bp = pool()
+        bp.insert("d", 1, page(1), dirty=True)
+        assert bp.dirty_lpns("d") == {1}
+
+    def test_dirty_is_per_device(self):
+        bp = pool()
+        bp.insert("a", 1, page(1), dirty=True)
+        assert bp.dirty_lpns("b") == set()
+
+    def test_mark_uncached_rejected(self):
+        bp = pool()
+        with pytest.raises(BufferPoolError):
+            bp.mark_dirty("d", 1)
+
+    def test_flush_uncached_rejected(self):
+        bp = pool()
+        with pytest.raises(BufferPoolError):
+            bp.flush("d", 1)
+
+
+class TestPins:
+    def test_unpin_without_pin_rejected(self):
+        bp = pool()
+        bp.insert("d", 1, page(1))
+        with pytest.raises(BufferPoolError):
+            bp.unpin("d", 1)
+
+    def test_pin_uncached_rejected(self):
+        bp = pool()
+        with pytest.raises(BufferPoolError):
+            bp.pin("d", 1)
+
+    def test_nested_pins(self):
+        bp = pool(frames=2)
+        bp.insert("d", 1, page(1))
+        bp.pin("d", 1)
+        bp.pin("d", 1)
+        bp.unpin("d", 1)
+        # Still pinned once: survives pressure.
+        for i in range(2, 6):
+            bp.insert("d", i, page(i))
+        assert bp.contains("d", 1)
+
+
+class TestCachedFraction:
+    def test_fraction(self):
+        bp = pool(frames=8)
+        for lpn in (0, 1, 2, 3):
+            bp.insert("d", lpn, page(lpn))
+        assert bp.cached_fraction("d", 0, 8) == pytest.approx(0.5)
+        assert bp.cached_fraction("d", 4, 4) == 0.0
+        assert bp.cached_fraction("d", 0, 0) == 0.0

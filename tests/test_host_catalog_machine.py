@@ -1,0 +1,130 @@
+"""Unit tests for the catalog and the host machine model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.host.catalog import Catalog
+from repro.host.machine import HostMachine, HostSpec
+from repro.sim import Simulator
+from repro.smart.device import SmartSsd
+from repro.storage import Column, Int32Type, Layout, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("a", Int32Type()), Column("b", Int32Type())])
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    return sim, SmartSsd(sim)
+
+
+class TestCatalog:
+    def test_create_table_loads_pages(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        table = catalog.create_table("t", schema, Layout.NSM,
+                                     [(1, 2), (3, 4)], device)
+        assert table.tuple_count == 2
+        assert table.page_count == 1
+        assert table.device_name == "smart-ssd"
+        assert catalog.table("t") is table
+        # Pages really are on the device.
+        from repro.storage import decode_page
+        decoded = decode_page(schema,
+                              device.read_page_direct(table.heap.first_lpn))
+        assert decoded["a"].tolist() == [1, 3]
+
+    def test_accepts_structured_array(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        rows = schema.rows_to_array([(5, 6)])
+        table = catalog.create_table("t", schema, Layout.PAX, rows, device)
+        assert table.tuple_count == 1
+        assert table.layout is Layout.PAX
+
+    def test_duplicate_name_rejected(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        catalog.create_table("t", schema, Layout.NSM, [(1, 2)], device)
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", schema, Layout.NSM, [(1, 2)], device)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_drop(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        catalog.create_table("t", schema, Layout.NSM, [(1, 2)], device)
+        catalog.drop("t")
+        assert "t" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop("t")
+
+    def test_names_sorted(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        catalog.create_table("zeta", schema, Layout.NSM, [(1, 2)], device)
+        catalog.create_table("alpha", schema, Layout.NSM, [(1, 2)], device)
+        assert catalog.names() == ["alpha", "zeta"]
+
+    def test_distinct_table_ids(self, schema, world):
+        __, device = world
+        catalog = Catalog()
+        a = catalog.create_table("a", schema, Layout.NSM, [(1, 2)], device)
+        b = catalog.create_table("b", schema, Layout.NSM, [(1, 2)], device)
+        assert a.heap.table_id != b.heap.table_id
+
+
+class TestHostMachine:
+    def test_compute_occupies_one_core(self):
+        sim = Simulator()
+        machine = HostMachine(sim)
+        hz = machine.spec.cpu.hz
+
+        def work():
+            yield from machine.compute(hz)  # one second of one core
+
+        sim.process(work())
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+        assert machine.cpu_core_seconds() == pytest.approx(1.0)
+
+    def test_cores_run_in_parallel(self):
+        sim = Simulator()
+        machine = HostMachine(sim)
+        hz = machine.spec.cpu.hz
+        cores = machine.spec.cpu.cores
+
+        def work():
+            yield from machine.compute(hz)
+
+        for __ in range(cores):
+            sim.process(work())
+        sim.run()
+        assert sim.now == pytest.approx(1.0)  # all cores in parallel
+        assert machine.cpu_core_seconds() == pytest.approx(cores)
+
+    def test_oversubscription_queues(self):
+        sim = Simulator()
+        machine = HostMachine(sim)
+        hz = machine.spec.cpu.hz
+        cores = machine.spec.cpu.cores
+
+        def work():
+            yield from machine.compute(hz)
+
+        for __ in range(2 * cores):
+            sim.process(work())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_spec_defaults_match_paper(self):
+        spec = HostSpec()
+        assert spec.power.idle_w == 235.0           # paper's idle base
+        assert spec.buffer_pool_nbytes < spec.dram_nbytes  # 24 of 32 GB

@@ -1,0 +1,90 @@
+"""Unit tests for work counters and the calibrated cost model."""
+
+import pytest
+
+from repro.model import (
+    DEFAULT_COSTS,
+    DEVICE_CPU,
+    HOST_CPU,
+    CpuSpec,
+    CycleCosts,
+    WorkCounters,
+)
+
+
+class TestWorkCounters:
+    def test_add_accumulates_every_field(self):
+        a = WorkCounters(pages_parsed=1, hash_probes=5, io_units=2)
+        b = WorkCounters(pages_parsed=3, predicates_evaluated=7)
+        a.add(b)
+        assert a.pages_parsed == 4
+        assert a.hash_probes == 5
+        assert a.predicates_evaluated == 7
+        assert a.io_units == 2
+
+    def test_scaled_multiplies_every_field(self):
+        c = WorkCounters(pages_parsed=10, hash_builds=3)
+        scaled = c.scaled(2.5)
+        assert scaled.pages_parsed == 25
+        assert scaled.hash_builds == 8  # rounded
+        assert c.pages_parsed == 10  # original untouched
+
+    def test_total_events(self):
+        c = WorkCounters(pages_parsed=2, output_values=3)
+        assert c.total_events() == 5
+
+    def test_default_is_zero(self):
+        assert WorkCounters().total_events() == 0
+
+
+class TestCycleCosts:
+    def test_zero_counters_cost_nothing(self):
+        assert DEFAULT_COSTS.cycles(WorkCounters()) == 0
+
+    def test_each_counter_priced(self):
+        costs = DEFAULT_COSTS
+        one_page = WorkCounters(pages_parsed=1)
+        assert costs.cycles(one_page) == costs.page_setup
+        one_probe = WorkCounters(hash_probes=1)
+        assert costs.cycles(one_probe) == costs.hash_probe_small
+        assert (costs.cycles(one_probe, large_hash_table=True)
+                == costs.hash_probe_large)
+
+    def test_large_table_pricing_strictly_higher(self):
+        work = WorkCounters(hash_builds=100, hash_probes=100)
+        small = DEFAULT_COSTS.cycles(work, large_hash_table=False)
+        large = DEFAULT_COSTS.cycles(work, large_hash_table=True)
+        assert large > small
+
+    def test_nsm_access_costs_more_than_pax(self):
+        nsm = WorkCounters(nsm_tuples_parsed=100, nsm_values_extracted=100)
+        pax = WorkCounters(pax_values_extracted=100)
+        assert DEFAULT_COSTS.cycles(nsm) > DEFAULT_COSTS.cycles(pax)
+
+    def test_cost_is_linear(self):
+        work = WorkCounters(pages_parsed=3, predicates_evaluated=50,
+                            io_units=1)
+        assert (DEFAULT_COSTS.cycles(work.scaled(4))
+                == pytest.approx(4 * DEFAULT_COSTS.cycles(work)))
+
+
+class TestCpuSpec:
+    def test_host_faster_than_device(self):
+        assert HOST_CPU.aggregate_rate > 10 * DEVICE_CPU.aggregate_rate
+
+    def test_core_seconds(self):
+        cpu = CpuSpec(name="x", cores=2, hz=1e9, efficiency_factor=2.0)
+        # 1e9 raw cycles at factor 2 on a 1 GHz core = 2 s of one core.
+        assert cpu.core_seconds(1e9) == pytest.approx(2.0)
+        assert cpu.aggregate_rate == pytest.approx(1e9)
+
+    def test_device_efficiency_factor_applied(self):
+        raw = 4e8  # one second of raw cycles at 400 MHz
+        assert DEVICE_CPU.core_seconds(raw) == pytest.approx(
+            DEVICE_CPU.efficiency_factor)
+
+    def test_paper_hardware_shapes(self):
+        """The specs encode the paper's testbed."""
+        assert HOST_CPU.cores == 8          # two quad-core Xeons
+        assert HOST_CPU.hz == pytest.approx(2.13e9)
+        assert DEVICE_CPU.hz < 1e9          # low-power embedded part

@@ -1,0 +1,140 @@
+"""Unit tests for the energy meter and the analytic pipeline model."""
+
+import pytest
+
+from repro.flash.hdd import HddSpec
+from repro.flash.ssd import SsdSpec
+from repro.model.analytic import (
+    ScanJobModel,
+    StageTimes,
+    host_scan_times_hdd,
+    host_scan_times_ssd,
+    smart_scan_times,
+)
+from repro.model.costs import DEVICE_CPU, HOST_CPU
+from repro.model.energy import (
+    DeviceActivity,
+    EnergyMeter,
+    SystemPowerSpec,
+)
+from repro.smart.device import SmartSsdSpec
+from repro.units import GB, MB
+
+
+class TestEnergyMeter:
+    def make_activity(self, io_busy=10.0, cpu_busy=0.0):
+        return DeviceActivity(name="dev", idle_w=1.0, active_delta_w=7.0,
+                              io_busy_seconds=io_busy,
+                              cpu_active_delta_w=0.8,
+                              cpu_busy_core_seconds=cpu_busy)
+
+    def test_idle_base_dominates(self):
+        meter = EnergyMeter(SystemPowerSpec(idle_w=235.0))
+        energy = meter.measure(elapsed=100.0, host_cpu_core_seconds=0.0,
+                               devices=[])
+        assert energy.entire_system_j == pytest.approx(23_500.0)
+        assert energy.io_subsystem_j == 0.0
+
+    def test_device_energy_decomposition(self):
+        meter = EnergyMeter(SystemPowerSpec(idle_w=0.0,
+                                            host_cpu_active_delta_w=0.0))
+        activity = self.make_activity(io_busy=10.0, cpu_busy=30.0)
+        energy = meter.measure(elapsed=100.0, host_cpu_core_seconds=0.0,
+                               devices=[activity])
+        # idle 1W x 100s + active 7W x 10s + cpu 0.8W x 30 core-s
+        assert energy.io_subsystem_j == pytest.approx(100 + 70 + 24)
+        # entire system counts only the above-idle device energy here.
+        assert energy.entire_system_j == pytest.approx(70 + 24)
+
+    def test_host_cpu_energy(self):
+        meter = EnergyMeter(SystemPowerSpec(idle_w=0.0,
+                                            host_cpu_active_delta_w=16.0))
+        energy = meter.measure(elapsed=10.0, host_cpu_core_seconds=5.0,
+                               devices=[])
+        assert energy.host_cpu_j == pytest.approx(80.0)
+        assert energy.entire_system_j == pytest.approx(80.0)
+
+    def test_io_busy_clamped_to_elapsed(self):
+        activity = self.make_activity(io_busy=1e9)
+        assert activity.energy_j(elapsed=10.0) == pytest.approx(
+            10 * 1.0 + 10 * 7.0)
+
+    def test_over_idle(self):
+        meter = EnergyMeter(SystemPowerSpec(idle_w=235.0))
+        energy = meter.measure(elapsed=10.0, host_cpu_core_seconds=1.0,
+                               devices=[])
+        assert energy.over_idle_j(235.0) == pytest.approx(energy.host_cpu_j)
+
+    def test_kj_properties(self):
+        meter = EnergyMeter(SystemPowerSpec(idle_w=1000.0))
+        energy = meter.measure(10.0, 0.0, [])
+        assert energy.entire_system_kj == pytest.approx(10.0)
+
+
+class TestStageTimes:
+    def test_elapsed_is_bottleneck_plus_positioning(self):
+        stages = StageTimes(flash=1.0, dram_bus=5.0, interface=2.0,
+                            cpu=3.0, positioning=0.5)
+        assert stages.elapsed == pytest.approx(5.5)
+        assert stages.bottleneck == "dram_bus"
+
+    def test_bottleneck_names(self):
+        assert StageTimes(cpu=9.0).bottleneck == "cpu"
+        assert StageTimes(interface=9.0).bottleneck == "interface"
+
+
+class TestAnalyticModel:
+    def job(self, data_gb=90.0, cycles=0.0):
+        return ScanJobModel(data_nbytes=data_gb * GB, touched_nbytes=0,
+                            result_nbytes=0, device_raw_cycles=cycles,
+                            host_raw_cycles=cycles)
+
+    def test_host_ssd_is_interface_bound_for_io_jobs(self):
+        stages = host_scan_times_ssd(self.job(), SsdSpec(), HOST_CPU)
+        assert stages.bottleneck == "interface"
+        # 90 GB at 550 MB/s.
+        assert stages.elapsed == pytest.approx(90 * GB / (550 * MB))
+
+    def test_smart_is_bus_bound_for_io_jobs(self):
+        stages = smart_scan_times(self.job(), SmartSsdSpec(), DEVICE_CPU)
+        assert stages.bottleneck in ("dram_bus", "flash")
+        assert stages.elapsed == pytest.approx(90 * GB / (1560 * MB),
+                                               rel=0.1)
+
+    def test_smart_cpu_bound_for_compute_jobs(self):
+        heavy = ScanJobModel(data_nbytes=1 * GB, touched_nbytes=0,
+                             result_nbytes=0, device_raw_cycles=1e12,
+                             host_raw_cycles=1e12)
+        stages = smart_scan_times(heavy, SmartSsdSpec(), DEVICE_CPU)
+        assert stages.bottleneck == "cpu"
+        expected = DEVICE_CPU.core_seconds(1e12) / DEVICE_CPU.cores
+        assert stages.cpu == pytest.approx(expected)
+
+    def test_touched_and_result_bytes_load_the_bus(self):
+        base = smart_scan_times(self.job(data_gb=10), SmartSsdSpec(),
+                                DEVICE_CPU)
+        loaded = smart_scan_times(
+            ScanJobModel(data_nbytes=10 * GB, touched_nbytes=10 * GB,
+                         result_nbytes=0, device_raw_cycles=0,
+                         host_raw_cycles=0),
+            SmartSsdSpec(), DEVICE_CPU)
+        assert loaded.dram_bus == pytest.approx(2 * base.dram_bus)
+
+    def test_result_bytes_load_the_interface(self):
+        stages = smart_scan_times(
+            ScanJobModel(data_nbytes=GB, touched_nbytes=0,
+                         result_nbytes=int(550 * MB), device_raw_cycles=0,
+                         host_raw_cycles=0),
+            SmartSsdSpec(), DEVICE_CPU)
+        assert stages.interface == pytest.approx(1.0)
+
+    def test_hdd_positioning_and_media_rate(self):
+        spec = HddSpec()
+        stages = host_scan_times_hdd(self.job(data_gb=8.5), spec, HOST_CPU)
+        assert stages.positioning == pytest.approx(spec.positioning_time)
+        assert stages.interface == pytest.approx(8.5 * GB / spec.media_rate)
+
+    def test_hdd_much_slower_than_ssd(self):
+        hdd = host_scan_times_hdd(self.job(), HddSpec(), HOST_CPU)
+        ssd = host_scan_times_ssd(self.job(), SsdSpec(), HOST_CPU)
+        assert hdd.elapsed > 5 * ssd.elapsed

@@ -1,0 +1,220 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, seize
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.timeout(2.5).callbacks.append(lambda ev: fired.append(sim.now))
+    assert sim.run() == 2.5
+    assert fired == [2.5]
+
+
+def test_timeouts_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.timeout(delay, delay).callbacks.append(
+            lambda ev: order.append(ev.value))
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_instant_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.timeout(1.0, tag).callbacks.append(
+            lambda ev: order.append(ev.value))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_process_waits_for_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(("start", sim.now))
+        yield sim.timeout(1.0)
+        trace.append(("mid", sim.now))
+        yield sim.timeout(2.0)
+        trace.append(("end", sim.now))
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+    assert proc.ok and proc.value == "done"
+
+
+def test_process_waits_on_other_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.value == 43
+    assert sim.now == 4.0
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        return "inner"
+
+    def outer():
+        value = yield from inner()
+        yield sim.timeout(1.0)
+        return value + "-outer"
+
+    proc = sim.process(outer())
+    sim.run()
+    assert proc.value == "inner-outer"
+    assert sim.now == 2.0
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter():
+        try:
+            yield sim.process(failing())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = sim.process(waiter())
+    sim.run()
+    assert proc.value == "caught boom"
+
+
+def test_unwaited_process_exception_aborts_run():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.process(failing())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def worker(delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def coordinator():
+        procs = [sim.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+        values = yield sim.all_of(procs)
+        return values
+
+    proc = sim.process(coordinator())
+    sim.run()
+    assert proc.value == [3.0, 1.0, 2.0]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_list():
+    sim = Simulator()
+
+    def coordinator():
+        values = yield sim.all_of([])
+        return values
+
+    proc = sim.process(coordinator())
+    sim.run()
+    assert proc.value == []
+
+
+def test_run_until_pauses_clock():
+    sim = Simulator()
+    sim.timeout(10.0).callbacks.append(lambda ev: None)
+    assert sim.run(until=5.0) == 5.0
+    assert sim.run() == 10.0
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_resource_serializes_capacity_one():
+    sim = Simulator()
+    resource = Resource(sim, 1, name="bus")
+    spans = []
+
+    def worker(hold):
+        start_wait = sim.now
+        yield from seize(resource, hold)
+        spans.append((start_wait, sim.now))
+
+    for __ in range(3):
+        sim.process(worker(2.0))
+    sim.run()
+    assert sim.now == 6.0
+    ends = sorted(end for _s, end in spans)
+    assert ends == [2.0, 4.0, 6.0]
+
+
+def test_resource_parallel_capacity_two():
+    sim = Simulator()
+    resource = Resource(sim, 2, name="cores")
+
+    def worker():
+        yield from seize(resource, 2.0)
+
+    for __ in range(4):
+        sim.process(worker())
+    sim.run()
+    assert sim.now == 4.0
+
+
+def test_resource_utilization_tracked():
+    sim = Simulator()
+    resource = Resource(sim, 1, name="bus")
+
+    def worker():
+        yield from seize(resource, 3.0)
+        yield sim.timeout(1.0)
+
+    sim.process(worker())
+    sim.run()
+    assert sim.now == 4.0
+    assert resource.utilization() == pytest.approx(0.75)
+
+
+def test_release_idle_resource_rejected():
+    sim = Simulator()
+    resource = Resource(sim, 1)
+    with pytest.raises(SimulationError):
+        resource.release()

@@ -1,0 +1,213 @@
+"""Unit tests for the SmartSsd device: OPEN/GET/CLOSE over real programs."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AggSpec, Col, Compare, Const, JoinSpec, Query
+from repro.errors import ProtocolError
+from repro.sim import Simulator
+from repro.smart.device import SmartSsd, SmartSsdSpec
+from repro.smart.protocol import OpenParams, SessionStatus
+from repro.storage import (
+    Column,
+    HeapFile,
+    Int32Type,
+    Layout,
+    Schema,
+    build_heap_pages,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("k", Int32Type()), Column("v", Int32Type())])
+
+
+def load_table(device, schema, rows, layout=Layout.PAX, table_id=1):
+    array = schema.rows_to_array(rows)
+    pages = build_heap_pages(schema, array, layout, table_id=table_id)
+    first = device.load_extent(pages)
+    return HeapFile(schema=schema, layout=layout, first_lpn=first,
+                    page_count=len(pages), tuple_count=len(array),
+                    table_id=table_id)
+
+
+def drive(sim, device, params):
+    """Run a full OPEN -> GET* -> CLOSE exchange; returns the payloads."""
+
+    def driver():
+        session_id = yield from device.open_session(params)
+        payload = []
+        while True:
+            response = yield from device.get(session_id)
+            payload.extend(response.payload)
+            if response.status is SessionStatus.FAILED:
+                yield from device.close_session(session_id)
+                raise ProtocolError(response.error)
+            if response.status is SessionStatus.DONE and not response.payload:
+                break
+        yield from device.close_session(session_id)
+        return payload
+
+    proc = sim.process(driver())
+    sim.run()
+    return proc.value
+
+
+class TestAggregateProgram:
+    def test_aggregate_session(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(i, i * 2) for i in range(100)])
+        query = Query(table="t",
+                      predicate=Compare(Col("k"), "<", Const(10)),
+                      aggregates=(AggSpec("sum", Col("v"), "s"),))
+        payload = drive(sim, device, OpenParams(
+            program="aggregate", arguments={"query": query, "heap": heap}))
+        assert len(payload) == 1
+        tag, state = payload[0]
+        assert tag == "agg"
+        assert state.values["s"] == sum(i * 2 for i in range(10))
+        assert sim.now > 0
+
+    def test_session_resources_released_after_close(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(1, 2)])
+        query = Query(table="t", aggregates=(AggSpec("count", None, "n"),))
+        before = device.dram.available_nbytes
+        drive(sim, device, OpenParams(
+            program="aggregate", arguments={"query": query, "heap": heap}))
+        assert device.dram.available_nbytes == before
+        assert device.runtime.open_session_count == 0
+
+
+class TestScanProgram:
+    def test_scan_returns_rows(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(i, i) for i in range(50)])
+        query = Query(table="t",
+                      predicate=Compare(Col("v"), ">=", Const(45)),
+                      select=(("k", Col("k")),))
+        payload = drive(sim, device, OpenParams(
+            program="scan_filter",
+            arguments={"query": query, "heap": heap}))
+        chunks = [c for __, chunks in payload for c in chunks]
+        ks = np.concatenate([c["k"] for c in chunks])
+        assert sorted(ks.tolist()) == [45, 46, 47, 48, 49]
+
+    def test_program_shape_validation(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(1, 2)])
+        agg_query = Query(table="t",
+                          aggregates=(AggSpec("count", None, "n"),))
+        with pytest.raises(ProtocolError, match="aggregate"):
+            drive(sim, device, OpenParams(
+                program="scan_filter",
+                arguments={"query": agg_query, "heap": heap}))
+
+
+class TestJoinProgram:
+    def test_join_session(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        dim_schema = Schema([Column("pk", Int32Type()),
+                             Column("label", Int32Type())])
+        fact = load_table(device, schema,
+                          [(i % 5, i) for i in range(30)], table_id=1)
+        dim = load_table(device, dim_schema,
+                         [(i, 100 + i) for i in range(5)], table_id=2)
+        query = Query(
+            table="fact",
+            join=JoinSpec(build_table="dim", build_key="pk",
+                          probe_key="k", payload=("label",)),
+            select=(("v", Col("v")), ("label", Col("label"))),
+        )
+        payload = drive(sim, device, OpenParams(
+            program="hash_join",
+            arguments={"query": query, "heap": fact, "build_heap": dim}))
+        chunks = [c for __, chunks in payload for c in chunks]
+        labels = np.concatenate([c["label"] for c in chunks])
+        assert len(labels) == 30
+        assert set(labels.tolist()) <= {100, 101, 102, 103, 104}
+
+    def test_join_without_build_heap_fails_via_get(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(1, 2)])
+        query = Query(
+            table="fact",
+            join=JoinSpec(build_table="dim", build_key="pk",
+                          probe_key="k", payload=()),
+            select=(("v", Col("v")),),
+        )
+        with pytest.raises(ProtocolError, match="build heap"):
+            drive(sim, device, OpenParams(
+                program="hash_join",
+                arguments={"query": query, "heap": heap}))
+
+
+class TestProtocolEdges:
+    def test_open_requires_query_and_heap(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+
+        def driver():
+            yield from device.open_session(
+                OpenParams(program="aggregate", arguments={}))
+
+        sim.process(driver())
+        with pytest.raises(ProtocolError, match="missing argument"):
+            sim.run()
+
+    def test_get_unknown_session(self):
+        sim = Simulator()
+        device = SmartSsd(sim)
+
+        def driver():
+            yield from device.get(999)
+
+        sim.process(driver())
+        with pytest.raises(ProtocolError, match="unknown session"):
+            sim.run()
+
+    def test_close_unknown_session(self):
+        sim = Simulator()
+        device = SmartSsd(sim)
+
+        def driver():
+            yield from device.close_session(999)
+
+        sim.process(driver())
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_commands_cost_interface_time(self, schema):
+        """OPEN/GET/CLOSE frames cross the (timed) host interface."""
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(1, 2)])
+        query = Query(table="t", aggregates=(AggSpec("count", None, "n"),))
+        before = device.interface.bytes_moved
+        drive(sim, device, OpenParams(
+            program="aggregate", arguments={"query": query, "heap": heap}))
+        assert device.interface.bytes_moved > before
+
+    def test_failed_program_surfaces_error_and_device_survives(self, schema):
+        sim = Simulator()
+        device = SmartSsd(sim)
+        heap = load_table(device, schema, [(1, 2)])
+        bad_query = Query(table="t",
+                          predicate=Compare(Col("missing"), "<", Const(1)),
+                          aggregates=(AggSpec("count", None, "n"),))
+        with pytest.raises(ProtocolError):
+            drive(sim, device, OpenParams(
+                program="aggregate",
+                arguments={"query": bad_query, "heap": heap}))
+        # The device is still usable afterwards.
+        good = Query(table="t", aggregates=(AggSpec("count", None, "n"),))
+        payload = drive(sim, device, OpenParams(
+            program="aggregate", arguments={"query": good, "heap": heap}))
+        assert payload[0][1].values["n"] == 1

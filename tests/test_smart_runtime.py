@@ -1,0 +1,151 @@
+"""Unit tests for the Smart SSD session runtime and protocol pieces."""
+
+import pytest
+
+from repro.errors import DeviceResourceError, ProtocolError
+from repro.flash.dram import DeviceDram
+from repro.sim import Simulator
+from repro.smart.protocol import (
+    OpenParams,
+    SessionIdAllocator,
+    SessionStatus,
+)
+from repro.smart.programs import default_programs
+from repro.smart.runtime import RESULT_BUFFER_NBYTES, SmartRuntime
+from repro.units import MIB
+
+
+def make_runtime(max_sessions=4, dram_mib=512):
+    sim = Simulator()
+    dram = DeviceDram(dram_mib * MIB)
+    runtime = SmartRuntime(sim, dram, max_sessions=max_sessions)
+    for program in default_programs():
+        runtime.upload_program(program)
+    return sim, dram, runtime
+
+
+class TestProgramRegistry:
+    def test_default_programs_uploaded(self):
+        __, __, runtime = make_runtime()
+        assert runtime.program_names() == ["aggregate", "hash_join",
+                                           "scan_filter"]
+
+    def test_duplicate_upload_rejected(self):
+        __, __, runtime = make_runtime()
+        with pytest.raises(ProtocolError):
+            runtime.upload_program(default_programs()[0])
+
+    def test_unknown_program_rejected(self):
+        __, __, runtime = make_runtime()
+        with pytest.raises(ProtocolError):
+            runtime.program("bitcoin_miner")
+        with pytest.raises(ProtocolError):
+            runtime.open(OpenParams(program="bitcoin_miner"))
+
+
+class TestSessionLifecycle:
+    def test_open_grants_result_buffer(self):
+        __, dram, runtime = make_runtime()
+        before = dram.available_nbytes
+        session = runtime.open(OpenParams(program="aggregate"))
+        assert dram.available_nbytes == before - RESULT_BUFFER_NBYTES
+        assert session.status is SessionStatus.RUNNING
+        assert runtime.open_session_count == 1
+
+    def test_close_releases_grants(self):
+        __, dram, runtime = make_runtime()
+        before = dram.available_nbytes
+        session = runtime.open(OpenParams(program="aggregate"))
+        runtime.grant_memory(session, 10 * MIB)
+        runtime.close(session.id)
+        assert dram.available_nbytes == before
+        assert runtime.open_session_count == 0
+        with pytest.raises(ProtocolError):
+            runtime.session(session.id)
+
+    def test_session_ids_unique(self):
+        __, __, runtime = make_runtime()
+        a = runtime.open(OpenParams(program="aggregate"))
+        b = runtime.open(OpenParams(program="aggregate"))
+        assert a.id != b.id
+
+    def test_thread_grant_limit(self):
+        __, __, runtime = make_runtime(max_sessions=2)
+        runtime.open(OpenParams(program="aggregate"))
+        runtime.open(OpenParams(program="aggregate"))
+        with pytest.raises(DeviceResourceError, match="thread grant"):
+            runtime.open(OpenParams(program="aggregate"))
+
+    def test_memory_grant_exhaustion(self):
+        __, __, runtime = make_runtime(dram_mib=128)
+        session = runtime.open(OpenParams(program="hash_join"))
+        with pytest.raises(DeviceResourceError, match="exhausted"):
+            runtime.grant_memory(session, 1024 * MIB)
+
+
+class TestSessionResults:
+    def test_push_and_drain(self):
+        __, __, runtime = make_runtime()
+        session = runtime.open(OpenParams(program="aggregate"))
+        session.push("chunk-1", 100)
+        session.push("chunk-2", 50)
+        assert session.has_news()
+        payload, nbytes = session.drain()
+        assert payload == ["chunk-1", "chunk-2"]
+        assert nbytes == 150
+        assert not session.has_news()
+
+    def test_finish_is_news(self):
+        __, __, runtime = make_runtime()
+        session = runtime.open(OpenParams(program="aggregate"))
+        assert not session.has_news()
+        session.finish()
+        assert session.has_news()
+        assert session.status is SessionStatus.DONE
+
+    def test_fail_carries_error(self):
+        __, __, runtime = make_runtime()
+        session = runtime.open(OpenParams(program="aggregate"))
+        session.fail("flash caught fire")
+        assert session.status is SessionStatus.FAILED
+        assert session.error == "flash caught fire"
+
+    def test_wait_news_fires_on_push(self):
+        sim, __, runtime = make_runtime()
+        session = runtime.open(OpenParams(program="aggregate"))
+        seen = []
+
+        def waiter():
+            yield session.wait_news()
+            seen.append(sim.now)
+
+        def producer():
+            yield sim.timeout(5.0)
+            session.push("x", 1)
+
+        sim.process(waiter())
+        sim.process(producer())
+        sim.run()
+        assert seen == [5.0]
+
+    def test_wait_news_immediate_when_ready(self):
+        sim, __, runtime = make_runtime()
+        session = runtime.open(OpenParams(program="aggregate"))
+        session.push("x", 1)
+
+        def waiter():
+            yield session.wait_news()
+            return "ok"
+
+        proc = sim.process(waiter())
+        sim.run()
+        assert proc.value == "ok"
+        assert sim.now == 0.0
+
+
+class TestSessionIdAllocator:
+    def test_monotonic(self):
+        alloc = SessionIdAllocator()
+        ids = [alloc.next_id() for __ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5

@@ -1,0 +1,146 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import parser as ast
+from repro.sql.lexer import SqlError, Token, tokenize
+from repro.sql.parser import parse
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("keyword", "SELECT"), ("keyword", "FROM"),
+            ("keyword", "WHERE")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("l_shipdate Foo_1") == [
+            ("ident", "l_shipdate"), ("ident", "Foo_1")]
+
+    def test_numbers(self):
+        assert kinds("42 0.05 100.") == [
+            ("number", "42"), ("number", "0.05"),
+            ("number", "100"), ("op", ".")]
+
+    def test_strings(self):
+        assert kinds("'PROMO%'") == [("string", "PROMO%")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("SELECT 'oops")
+
+    def test_operators_longest_first(self):
+        assert kinds("<= >= <> a.b") == [
+            ("op", "<="), ("op", ">="), ("op", "<>"),
+            ("ident", "a"), ("op", "."), ("ident", "b")]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].kind == "end"
+
+
+class TestParser:
+    def parse(self, sql):
+        return parse(tokenize(sql))
+
+    def test_simple_select(self):
+        stmt = self.parse("SELECT a, b FROM t")
+        assert [i.alias for i in stmt.items] == [None, None]
+        assert isinstance(stmt.items[0].expr, ast.ColRef)
+        assert stmt.tables == ["t"]
+        assert stmt.where is None
+
+    def test_aliases(self):
+        stmt = self.parse("SELECT a AS x, b y FROM t")
+        assert [i.alias for i in stmt.items] == ["x", "y"]
+
+    def test_distinct(self):
+        assert self.parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_precedence(self):
+        stmt = self.parse("SELECT a FROM t WHERE a < 1 AND b > 2 OR c = 3")
+        assert isinstance(stmt.where, ast.OrE)
+        assert isinstance(stmt.where.left, ast.AndE)
+
+    def test_parenthesised_boolean(self):
+        stmt = self.parse("SELECT a FROM t WHERE a < 1 AND (b > 2 OR c = 3)")
+        assert isinstance(stmt.where, ast.AndE)
+        assert isinstance(stmt.where.right, ast.OrE)
+
+    def test_between_and_like(self):
+        stmt = self.parse(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'X%'")
+        assert isinstance(stmt.where.left, ast.BetweenE)
+        assert isinstance(stmt.where.right, ast.LikeE)
+        assert stmt.where.right.pattern == "X%"
+
+    def test_arithmetic_precedence(self):
+        stmt = self.parse("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = self.parse("SELECT -5 FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.BinOp) and expr.op == "-"
+
+    def test_aggregates(self):
+        stmt = self.parse("SELECT SUM(a), COUNT(*), AVG(b) FROM t")
+        names = [item.expr.name for item in stmt.items]
+        assert names == ["SUM", "COUNT", "AVG"]
+        assert stmt.items[1].expr.arg is None
+
+    def test_case_when(self):
+        stmt = self.parse(
+            "SELECT SUM(CASE WHEN a LIKE 'P%' THEN b ELSE 0 END) FROM t")
+        case = stmt.items[0].expr.arg
+        assert isinstance(case, ast.CaseE)
+        assert isinstance(case.condition, ast.LikeE)
+
+    def test_date_literal(self):
+        stmt = self.parse("SELECT a FROM t WHERE d >= DATE '1994-01-01'")
+        assert isinstance(stmt.where.right, ast.DateLit)
+        assert stmt.where.right.text == "1994-01-01"
+
+    def test_comma_join(self):
+        stmt = self.parse("SELECT a FROM r, s WHERE x = y")
+        assert stmt.tables == ["r", "s"]
+        assert stmt.join_on is None
+
+    def test_join_on(self):
+        stmt = self.parse("SELECT a FROM r JOIN s ON r.k = s.fk")
+        assert stmt.join_on is not None
+        assert stmt.join_on.left == ast.ColRef("r", "k")
+        assert stmt.join_on.right == ast.ColRef("s", "fk")
+
+    def test_group_order_limit(self):
+        stmt = self.parse("SELECT g, COUNT(*) FROM t GROUP BY g "
+                          "ORDER BY g DESC LIMIT 10")
+        assert stmt.group_by == [ast.ColRef(None, "g")]
+        assert stmt.order_by == ast.ColRef(None, "g")
+        assert stmt.descending
+        assert stmt.limit == 10
+
+    def test_multi_group_by(self):
+        stmt = self.parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            self.parse("SELECT a FROM t nonsense extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError, match="FROM"):
+            self.parse("SELECT a")
+
+    def test_qualified_columns(self):
+        stmt = self.parse("SELECT t1.a FROM t1")
+        assert stmt.items[0].expr == ast.ColRef("t1", "a")

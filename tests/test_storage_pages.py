@@ -1,0 +1,174 @@
+"""Unit tests for NSM/PAX page codecs and heap-file construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PageFullError, StorageError
+from repro.storage import (
+    PAGE_SIZE,
+    CharType,
+    Column,
+    DecimalType,
+    Int32Type,
+    Int64Type,
+    Layout,
+    Schema,
+    build_heap_pages,
+    decode_columns,
+    decode_page,
+    encode_page,
+)
+from repro.storage import nsm, pax
+from repro.storage.layout import touched_bytes, tuples_per_page
+from repro.storage.page import PageHeader, verify_page
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("k", Int64Type()),
+        Column("v", Int32Type()),
+        Column("price", DecimalType()),
+        Column("tag", CharType(7)),
+    ])
+
+
+@pytest.fixture
+def rows(schema):
+    return schema.rows_to_array(
+        [(i, i * 2, i * 100, f"t{i}") for i in range(40)])
+
+
+@pytest.mark.parametrize("layout", [Layout.NSM, Layout.PAX])
+class TestRoundTrip:
+    def test_page_is_exactly_page_size(self, schema, rows, layout):
+        page = encode_page(layout, schema, rows)
+        assert len(page) == PAGE_SIZE
+
+    def test_round_trip_all_columns(self, schema, rows, layout):
+        page = encode_page(layout, schema, rows)
+        decoded = decode_page(schema, page)
+        assert np.array_equal(decoded, rows)
+
+    def test_round_trip_empty_page(self, schema, layout):
+        page = encode_page(layout, schema, schema.empty_array())
+        assert len(decode_page(schema, page)) == 0
+
+    def test_header_metadata(self, schema, rows, layout):
+        page = encode_page(layout, schema, rows, table_id=7, page_index=3)
+        header = PageHeader.decode(page)
+        assert header.tuple_count == 40
+        assert header.table_id == 7
+        assert header.page_index == 3
+        assert header.layout_tag == layout.tag
+
+    def test_crc_verifies_and_detects_corruption(self, schema, rows, layout):
+        page = encode_page(layout, schema, rows)
+        verify_page(page)  # clean page passes
+        corrupted = bytearray(page)
+        corrupted[PAGE_SIZE // 2] ^= 0xFF
+        with pytest.raises(StorageError, match="CRC"):
+            verify_page(bytes(corrupted))
+
+    def test_capacity_overflow_rejected(self, schema, layout):
+        capacity = tuples_per_page(layout, schema)
+        too_many = schema.rows_to_array(
+            [(i, 0, 0, "x") for i in range(capacity + 1)])
+        with pytest.raises(PageFullError):
+            encode_page(layout, schema, too_many)
+
+    def test_decode_columns_subset(self, schema, rows, layout):
+        page = encode_page(layout, schema, rows)
+        cols = decode_columns(schema, page, ["price", "k"])
+        assert set(cols) == {"price", "k"}
+        assert np.array_equal(cols["k"], rows["k"])
+        assert np.array_equal(cols["price"], rows["price"])
+
+
+class TestNsmSpecifics:
+    def test_slot_directory_points_at_records(self, schema, rows):
+        page = encode_page(Layout.NSM, schema, rows)
+        slots = nsm.decode_nsm_slots(page)
+        assert len(slots) == len(rows)
+        stride = nsm.record_stride(schema)
+        expected = [96 + i * stride for i in range(len(rows))]
+        assert slots.tolist() == expected
+
+    def test_wrong_layout_decode_rejected(self, schema, rows):
+        page = encode_page(Layout.PAX, schema, rows)
+        with pytest.raises(StorageError):
+            nsm.decode_nsm_page(schema, page)
+
+    def test_tuples_per_page_formula(self, schema):
+        stride = schema.record_nbytes + nsm.NSM_RECORD_OVERHEAD
+        expected = (PAGE_SIZE - 96) // (stride + 2)
+        assert nsm.tuples_per_page(schema) == expected
+
+    def test_oversized_record_rejected(self):
+        big = Schema([Column("blob", CharType(9000))])
+        with pytest.raises(StorageError):
+            nsm.tuples_per_page(big)
+
+
+class TestPaxSpecifics:
+    def test_minipage_offsets_are_disjoint_and_in_page(self, schema):
+        offsets = pax.minipage_offsets(schema)
+        capacity = pax.tuples_per_page(schema)
+        end = offsets[-1] + capacity * schema.columns[-1].nbytes
+        assert end <= PAGE_SIZE
+        for (a, col), b in zip(zip(offsets, schema.columns), offsets[1:]):
+            assert a + capacity * col.nbytes == b
+
+    def test_single_column_decode_matches(self, schema, rows):
+        page = encode_page(Layout.PAX, schema, rows)
+        values = pax.decode_pax_column(schema, page, schema.column_index("v"))
+        assert np.array_equal(values, rows["v"])
+
+    def test_wrong_layout_decode_rejected(self, schema, rows):
+        page = encode_page(Layout.NSM, schema, rows)
+        with pytest.raises(StorageError):
+            pax.decode_pax_page(schema, page)
+
+    def test_pax_capacity_at_least_nsm(self, schema):
+        # PAX has no per-record overhead, so it packs at least as densely.
+        assert pax.tuples_per_page(schema) >= nsm.tuples_per_page(schema)
+
+
+class TestTouchedBytes:
+    def test_nsm_touches_full_records(self, schema):
+        got = touched_bytes(Layout.NSM, schema, ["k"], 10)
+        assert got == 10 * nsm.record_stride(schema)
+
+    def test_pax_touches_only_named_columns(self, schema):
+        got = touched_bytes(Layout.PAX, schema, ["k", "v"], 10)
+        assert got == 10 * (8 + 4)
+
+    def test_pax_never_exceeds_nsm(self, schema):
+        all_names = list(schema.names)
+        assert (touched_bytes(Layout.PAX, schema, all_names, 50)
+                <= touched_bytes(Layout.NSM, schema, all_names, 50))
+
+
+class TestHeapFile:
+    def test_build_heap_pages_splits_by_capacity(self, schema):
+        capacity = tuples_per_page(Layout.NSM, schema)
+        n = capacity * 2 + 5
+        rows = schema.rows_to_array([(i, 0, 0, "x") for i in range(n)])
+        pages = build_heap_pages(schema, rows, Layout.NSM, table_id=9)
+        assert len(pages) == 3
+        counts = [PageHeader.decode(p).tuple_count for p in pages]
+        assert counts == [capacity, capacity, 5]
+        assert [PageHeader.decode(p).page_index for p in pages] == [0, 1, 2]
+
+    def test_heap_pages_round_trip_all_rows(self, schema):
+        capacity = tuples_per_page(Layout.PAX, schema)
+        n = capacity + 3
+        rows = schema.rows_to_array([(i, i, i, "x") for i in range(n)])
+        pages = build_heap_pages(schema, rows, Layout.PAX)
+        decoded = np.concatenate([decode_page(schema, p) for p in pages])
+        assert np.array_equal(decoded, rows)
+
+    def test_dtype_mismatch_rejected(self, schema):
+        wrong = np.zeros(3, dtype="<i4")
+        with pytest.raises(StorageError):
+            build_heap_pages(schema, wrong, Layout.NSM)

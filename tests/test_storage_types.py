@@ -1,0 +1,138 @@
+"""Unit tests for column types and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, StorageError
+from repro.storage import (
+    CharType,
+    Column,
+    DateType,
+    DecimalType,
+    Int32Type,
+    Int64Type,
+    Schema,
+)
+
+
+class TestTypes:
+    def test_widths(self):
+        assert Int32Type().nbytes == 4
+        assert Int64Type().nbytes == 8
+        assert DateType().nbytes == 4
+        assert DecimalType().nbytes == 8
+        assert CharType(25).nbytes == 25
+
+    def test_int32_range(self):
+        t = Int32Type()
+        assert t.validate(2**31 - 1) == 2**31 - 1
+        with pytest.raises(StorageError):
+            t.validate(2**31)
+        with pytest.raises(StorageError):
+            t.validate(-(2**31) - 1)
+
+    def test_int_rejects_float_and_bool(self):
+        t = Int32Type()
+        with pytest.raises(StorageError):
+            t.validate(1.5)
+        with pytest.raises(StorageError):
+            t.validate(True)
+
+    def test_decimal_scaling(self):
+        t = DecimalType(scale=2)
+        assert t.to_storage(19.98) == 1998
+        assert t.from_storage(1998) == pytest.approx(19.98)
+
+    def test_decimal_negative_scale_rejected(self):
+        with pytest.raises(StorageError):
+            DecimalType(scale=-1)
+
+    def test_char_pads_and_rejects_long(self):
+        t = CharType(5)
+        assert t.validate("ab") == b"ab   "
+        assert t.validate(b"abcde") == b"abcde"
+        with pytest.raises(StorageError):
+            t.validate("abcdef")
+
+    def test_char_rejects_non_string(self):
+        with pytest.raises(StorageError):
+            CharType(5).validate(123)
+
+    def test_char_length_positive(self):
+        with pytest.raises(StorageError):
+            CharType(0)
+
+    def test_type_equality(self):
+        assert Int32Type() == Int32Type()
+        assert CharType(5) == CharType(5)
+        assert CharType(5) != CharType(6)
+        assert Int32Type() != Int64Type()
+        assert DateType() != Int32Type()  # distinct semantic types
+
+
+class TestSchema:
+    def make(self):
+        return Schema([
+            Column("a", Int32Type()),
+            Column("b", Int64Type()),
+            Column("c", CharType(3)),
+        ])
+
+    def test_record_nbytes(self):
+        assert self.make().record_nbytes == 4 + 8 + 3
+
+    def test_numpy_dtype_packed(self):
+        dtype = self.make().numpy_dtype()
+        assert dtype.itemsize == 15
+        assert dtype.names == ("a", "b", "c")
+
+    def test_column_index_and_lookup(self):
+        schema = self.make()
+        assert schema.column_index("b") == 1
+        assert schema.column("c").nbytes == 3
+        assert schema.has_column("a")
+        assert not schema.has_column("z")
+        with pytest.raises(CatalogError):
+            schema.column_index("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", Int32Type()), Column("a", Int64Type())])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("not a name", Int32Type())
+
+    def test_project(self):
+        schema = self.make()
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+        assert projected.record_nbytes == 7
+
+    def test_rows_to_array_validates(self):
+        schema = self.make()
+        arr = schema.rows_to_array([(1, 2, "xy"), (3, 4, "z")])
+        assert len(arr) == 2
+        assert arr["a"].tolist() == [1, 3]
+        assert arr["c"].tolist() == [b"xy ", b"z  "]
+
+    def test_rows_to_array_rejects_bad_arity(self):
+        with pytest.raises(StorageError):
+            self.make().rows_to_array([(1, 2)])
+
+    def test_rows_to_array_rejects_bad_value(self):
+        with pytest.raises(StorageError):
+            self.make().rows_to_array([(1, 2, "too-long")])
+
+    def test_empty_array(self):
+        arr = self.make().empty_array()
+        assert len(arr) == 0
+        assert arr.dtype == self.make().numpy_dtype()
+
+    def test_schema_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != self.make().project(["a", "b"])

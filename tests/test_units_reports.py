@@ -1,0 +1,65 @@
+"""Unit tests for formatting helpers and execution reports."""
+
+import numpy as np
+import pytest
+
+from repro.model.report import ExecutionReport, IoStats
+from repro.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    fmt_bytes,
+    fmt_seconds,
+    mb_per_s,
+)
+
+
+class TestUnits:
+    def test_decimal_vs_binary(self):
+        assert KB == 1000 and KIB == 1024
+        assert MB == 1000**2 and MIB == 1024**2
+        assert GB == 1000**3 and GIB == 1024**3
+
+    def test_mb_per_s(self):
+        assert mb_per_s(550 * MB) == pytest.approx(550.0)
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(0) == "0 B"
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 * MIB) == "3.0 MiB"
+        assert fmt_bytes(5 * GIB) == "5.0 GiB"
+        assert "TiB" in fmt_bytes(3000 * GIB)
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(5e-6) == "5.0 us"
+        assert fmt_seconds(2.5e-3) == "2.50 ms"
+        assert fmt_seconds(12.0) == "12.00 s"
+
+
+class TestExecutionReport:
+    def test_row_count_for_arrays_and_lists(self):
+        arr = np.zeros(5, dtype=[("a", "<i4")])
+        report = ExecutionReport(rows=arr, elapsed_seconds=1.0,
+                                 placement="host", device_name="d",
+                                 layout="pax")
+        assert report.row_count == 5
+        report2 = ExecutionReport(rows=[{"n": 1}], elapsed_seconds=1.0,
+                                  placement="smart", device_name="d",
+                                  layout="nsm")
+        assert report2.row_count == 1
+
+    def test_summary_mentions_key_facts(self):
+        report = ExecutionReport(
+            rows=[{"n": 1}], elapsed_seconds=2.0, placement="smart",
+            device_name="smart-ssd", layout="pax",
+            io=IoStats(pages_read_device=100, bytes_over_interface=4096),
+            host_cpu_core_seconds=0.5, device_cpu_core_seconds=3.25)
+        text = report.summary()
+        assert "smart" in text
+        assert "pax" in text
+        assert "100" in text
+        assert "3.25" in text

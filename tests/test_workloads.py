@@ -1,0 +1,200 @@
+"""Unit tests for the TPC-H dbgen-lite and Synthetic64 generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.storage import Layout
+from repro.storage.nsm import tuples_per_page as nsm_tuples_per_page
+from repro.workloads import (
+    LINEITEM_ROWS_PER_SF,
+    PART_ROWS_PER_SF,
+    date_to_days,
+    generate_lineitem,
+    generate_part,
+    generate_synthetic64_r,
+    generate_synthetic64_s,
+    lineitem_schema,
+    part_schema,
+    q6_query,
+    q14_query,
+    synthetic64_r_schema,
+    synthetic64_s_schema,
+    synthetic_join_query,
+    synthetic_scan_query,
+)
+
+
+class TestLineitem:
+    def test_cardinality_scales(self):
+        assert len(generate_lineitem(0.001)) == int(
+            LINEITEM_ROWS_PER_SF * 0.001)
+
+    def test_record_width_is_145_bytes(self):
+        """The paper's modified LINEITEM record (gives 51 tuples/page)."""
+        assert lineitem_schema().record_nbytes == 145
+
+    def test_51_tuples_per_nsm_page(self):
+        """§4.2.1: 'five predicates, 51 tuples per data page'."""
+        assert nsm_tuples_per_page(lineitem_schema()) == 51
+
+    def test_deterministic(self):
+        a = generate_lineitem(0.001)
+        b = generate_lineitem(0.001)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = generate_lineitem(0.001)
+        b = generate_lineitem(0.001, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_value_domains(self):
+        rows = generate_lineitem(0.002)
+        assert rows["l_quantity"].min() >= 100          # 1.00 scaled
+        assert rows["l_quantity"].max() <= 5000         # 50.00 scaled
+        assert rows["l_discount"].min() >= 0
+        assert rows["l_discount"].max() <= 10           # 0.10 scaled
+        assert (rows["l_shipdate"] > rows["l_commitdate"] - 200).all()
+        assert (rows["l_receiptdate"] > rows["l_shipdate"]).all()
+        # extendedprice = quantity x unit price, both positive.
+        assert (rows["l_extendedprice"] > 0).all()
+
+    def test_ship_dates_span_tpch_range(self):
+        rows = generate_lineitem(0.005)
+        assert rows["l_shipdate"].min() >= date_to_days(1992, 1, 1)
+        assert rows["l_shipdate"].max() <= date_to_days(1998, 12, 31)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(PlanError):
+            generate_lineitem(0)
+
+
+class TestPart:
+    def test_cardinality_and_keys(self):
+        rows = generate_part(0.01)
+        assert len(rows) == int(PART_ROWS_PER_SF * 0.01)
+        # Dense primary key 1..N (the FK target for l_partkey).
+        assert rows["p_partkey"].tolist() == list(range(1, len(rows) + 1))
+
+    def test_promo_fraction_about_one_sixth(self):
+        rows = generate_part(0.05)
+        promo = np.char.startswith(rows["p_type"].astype("S25"), b"PROMO")
+        fraction = promo.sum() / len(rows)
+        assert 0.1 < fraction < 0.25
+
+    def test_record_width(self):
+        assert part_schema().record_nbytes == 164
+
+    def test_lineitem_fk_targets_exist(self):
+        lineitem = generate_lineitem(0.002)
+        part = generate_part(0.002)
+        assert lineitem["l_partkey"].max() <= len(part)
+        assert lineitem["l_partkey"].min() >= 1
+
+
+class TestQ6Query:
+    def test_shape(self):
+        query = q6_query()
+        assert query.table == "lineitem"
+        assert query.join is None
+        assert len(query.aggregates) == 1
+        assert query.finalize is not None
+
+    def test_selectivity_near_paper(self):
+        """The paper quotes 0.6% for Q6 at its default parameters."""
+        rows = generate_lineitem(0.01)
+        mask = ((rows["l_shipdate"] >= date_to_days(1994, 1, 1))
+                & (rows["l_shipdate"] < date_to_days(1995, 1, 1))
+                & (rows["l_discount"] == 6)
+                & (rows["l_quantity"] < 2400))
+        assert 0.002 < mask.mean() < 0.015
+
+    def test_finalize_descales(self):
+        query = q6_query()
+        out = query.finalize({"revenue_scaled": 12_345_678})
+        assert out["revenue"] == pytest.approx(1234.5678)
+
+    def test_parameterized_year(self):
+        assert q6_query(year=1995) is not None
+
+
+class TestQ14Query:
+    def test_shape(self):
+        query = q14_query()
+        assert query.join is not None
+        assert query.join.build_table == "part"
+        assert query.join.payload == ("p_type",)
+        assert len(query.aggregates) == 2
+
+    def test_month_window_is_small(self):
+        rows = generate_lineitem(0.01)
+        mask = ((rows["l_shipdate"] >= date_to_days(1995, 9, 1))
+                & (rows["l_shipdate"] < date_to_days(1995, 10, 1)))
+        assert 0.005 < mask.mean() < 0.03
+
+    def test_finalize_ratio(self):
+        query = q14_query()
+        out = query.finalize({"promo_scaled": 25, "total_scaled": 100})
+        assert out["promo_revenue"] == pytest.approx(25.0)
+        assert query.finalize({"promo_scaled": 0, "total_scaled": 0})[
+            "promo_revenue"] == 0.0
+
+    def test_december_rolls_over(self):
+        assert q14_query(year=1997, month=12) is not None
+
+
+class TestSynthetic:
+    def test_schemas_are_64_int_columns(self):
+        r = synthetic64_r_schema()
+        s = synthetic64_s_schema()
+        assert len(r) == 64 and len(s) == 64
+        assert r.record_nbytes == 256
+        assert s.record_nbytes == 256
+
+    def test_r_primary_key_dense(self):
+        rows = generate_synthetic64_r(0.001)
+        assert rows["r_col_1"].tolist() == list(range(1, len(rows) + 1))
+
+    def test_s_foreign_key_targets_r(self):
+        r = generate_synthetic64_r(0.001)
+        s = generate_synthetic64_s(0.0001, len(r))
+        assert s["s_col_2"].min() >= 1
+        assert s["s_col_2"].max() <= len(r)
+
+    def test_selectivity_knob(self):
+        r = generate_synthetic64_r(0.001)
+        s = generate_synthetic64_s(0.0005, len(r))
+        for pct in (1, 10, 50):
+            fraction = (s["s_col_3"] < pct).mean()
+            assert fraction == pytest.approx(pct / 100, abs=0.02)
+
+    def test_join_query_shape(self):
+        query = synthetic_join_query(10)
+        assert query.join.build_key == "r_col_1"
+        assert query.join.probe_key == "s_col_2"
+        assert [n for n, __ in query.select] == ["s_col_1", "r_col_2"]
+
+    def test_scan_query_variants(self):
+        rows_query = synthetic_scan_query(5)
+        assert len(rows_query.select) == 64  # SELECT *
+        agg_query = synthetic_scan_query(5, aggregate=True)
+        assert agg_query.aggregates
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(PlanError):
+            synthetic_join_query(101)
+        with pytest.raises(PlanError):
+            synthetic_scan_query(-1)
+
+    def test_s_needs_r(self):
+        with pytest.raises(PlanError):
+            generate_synthetic64_s(0.001, 0)
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days(1970, 1, 1) == 0
+        assert date_to_days(1970, 1, 2) == 1
+
+    def test_known_date(self):
+        assert date_to_days(1994, 1, 1) == 8766
