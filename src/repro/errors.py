@@ -33,6 +33,30 @@ class FlashError(DeviceError):
     """NAND-level failure (program to non-erased page, bad address...)."""
 
 
+class ProgramFailError(FlashError):
+    """A NAND page program failed; firmware must retry on another slot."""
+
+
+class UncorrectableMediaError(FlashError):
+    """A NAND read stayed corrupt after exhausting the ECC retry budget."""
+
+
+class DeviceTimeoutError(DeviceError):
+    """A device command (OPEN/GET/CLOSE/read) produced no reply in time."""
+
+
+class ProgramCrashError(DeviceError):
+    """An in-device query program crashed mid-session."""
+
+
+class ArrayMemberError(DeviceError):
+    """A Smart SSD array member failed and its partition is unreachable."""
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection plan or retry policy is misconfigured."""
+
+
 class ProtocolError(ReproError):
     """Smart SSD session protocol violation (bad session id, bad state)."""
 

@@ -1,0 +1,48 @@
+"""Fault injection and recovery machinery (see ``docs/FAULTS.md``)."""
+
+from repro.faults.health import DeviceHealth, HealthRegistry
+from repro.faults.plan import (
+    DEAD_COMMAND_TIMEOUT_S,
+    KNOWN_SITES,
+    SITE_DEVICE_DEAD,
+    SITE_DEVICE_SLOW,
+    SITE_GET_TIMEOUT,
+    SITE_NAND_PROGRAM,
+    SITE_NAND_READ,
+    SITE_SESSION_CRASH,
+    SITE_UNCLEAN_SHUTDOWN,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    check_fault,
+)
+from repro.faults.recovery import (
+    DEFAULT_RETRY_POLICY,
+    TRANSIENT_ERROR_NAMES,
+    RetryPolicy,
+    is_transient_error,
+)
+
+__all__ = [
+    "DEAD_COMMAND_TIMEOUT_S",
+    "KNOWN_SITES",
+    "SITE_DEVICE_DEAD",
+    "SITE_DEVICE_SLOW",
+    "SITE_GET_TIMEOUT",
+    "SITE_NAND_PROGRAM",
+    "SITE_NAND_READ",
+    "SITE_SESSION_CRASH",
+    "SITE_UNCLEAN_SHUTDOWN",
+    "DEFAULT_RETRY_POLICY",
+    "TRANSIENT_ERROR_NAMES",
+    "DeviceHealth",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "HealthRegistry",
+    "RetryPolicy",
+    "check_fault",
+    "is_transient_error",
+]

@@ -1,0 +1,49 @@
+"""Device health tracking: the optimizer's memory of recent failures.
+
+The executor reports every pushdown failure and success here; the
+cost-based optimizer consults :meth:`HealthRegistry.is_quarantined` before
+even pricing the pushdown placement, so a device whose programs keep
+crashing stops receiving pushdown work until it proves itself again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeviceHealth:
+    """Failure/success record of one device."""
+
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+
+
+class HealthRegistry:
+    """Per-device failure counters with a consecutive-failure quarantine."""
+
+    def __init__(self, quarantine_after: int = 3):
+        self.quarantine_after = quarantine_after
+        self._devices: dict[str, DeviceHealth] = {}
+
+    def status(self, device_name: str) -> DeviceHealth:
+        """The (auto-created) health record of one device."""
+        return self._devices.setdefault(device_name, DeviceHealth())
+
+    def record_failure(self, device_name: str) -> None:
+        """Note one pushdown failure (crash, timeout, media error)."""
+        health = self.status(device_name)
+        health.consecutive_failures += 1
+        health.total_failures += 1
+
+    def record_success(self, device_name: str) -> None:
+        """Note one successful pushdown; clears the consecutive streak."""
+        health = self.status(device_name)
+        health.consecutive_failures = 0
+        health.total_successes += 1
+
+    def is_quarantined(self, device_name: str) -> bool:
+        """True when the device's streak crossed the quarantine threshold."""
+        return (self.status(device_name).consecutive_failures
+                >= self.quarantine_after)

@@ -1,0 +1,202 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s, each bound to one
+named *fault site* — a string constant identifying a place in the stack that
+asks "should something go wrong here?". Components consult the plan through
+:func:`check_fault`; with no plan installed every site is a strict no-op, so
+calibrated benchmark numbers are untouched.
+
+Determinism: each rule owns its own PRNG stream, seeded from the plan seed
+plus the rule's site and position. Because the simulation kernel itself is
+deterministic, the same plan against the same workload fires the exact same
+faults at the exact same virtual times, run after run — the property
+``tests/test_faults.py`` locks in.
+
+Sites (the ``SITE_*`` constants):
+
+==========================  =================================================
+site                        consulted by
+==========================  =================================================
+``nand.read``               :class:`~repro.flash.controller.FlashController`
+                            per page of a timed read (ECC retry model)
+``nand.program``            :meth:`~repro.flash.nand.NandArray.program`
+``ftl.unclean_shutdown``    :meth:`~repro.flash.ssd.Ssd.power_cycle`
+``session.crash``           the device programs, per I/O unit
+``get.timeout``             :meth:`~repro.smart.device.SmartSsd.get`
+                            (the reply is "lost" after results are staged)
+``device.dead``             every protocol command and ``host_read``
+``device.slow``             every protocol command (fixed added latency)
+==========================  =================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import FaultConfigError
+
+SITE_NAND_READ = "nand.read"
+SITE_NAND_PROGRAM = "nand.program"
+SITE_UNCLEAN_SHUTDOWN = "ftl.unclean_shutdown"
+SITE_SESSION_CRASH = "session.crash"
+SITE_GET_TIMEOUT = "get.timeout"
+SITE_DEVICE_DEAD = "device.dead"
+SITE_DEVICE_SLOW = "device.slow"
+
+#: Virtual seconds a command burns before a dead device / lost GET reply is
+#: declared timed out (rules override per-site with a ``delay=`` payload).
+DEAD_COMMAND_TIMEOUT_S = 5e-3
+
+#: Every site a rule may target; :meth:`FaultPlan.add` validates against it.
+KNOWN_SITES = frozenset({
+    SITE_NAND_READ,
+    SITE_NAND_PROGRAM,
+    SITE_UNCLEAN_SHUTDOWN,
+    SITE_SESSION_CRASH,
+    SITE_GET_TIMEOUT,
+    SITE_DEVICE_DEAD,
+    SITE_DEVICE_SLOW,
+})
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One fired fault: which rule fired and its injection parameters."""
+
+    site: str
+    rule_index: int
+    hit: int                        # 1-based ordinal of the triggering hit
+    payload: Mapping[str, Any]      # rule knobs (retries, delay, factor...)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Audit-log entry recorded every time a rule fires."""
+
+    site: str
+    rule_index: int
+    hit: int
+    time: Optional[float]           # virtual seconds, when the site knows it
+    context: Mapping[str, Any]
+
+
+class FaultRule:
+    """One injection rule: *where* (site + match) and *when* (trigger).
+
+    Trigger semantics, evaluated per matching hit:
+
+    * the first ``after`` hits never fire (arm the rule mid-run);
+    * an armed hit fires with ``probability`` (1.0 = always), drawn from the
+      rule's private seeded stream;
+    * once the rule has fired ``limit`` times it goes dormant (``None`` =
+      unlimited) — this is how "retry eventually succeeds" scenarios are
+      built.
+    """
+
+    def __init__(self, site: str, index: int, seed: int, *,
+                 probability: float = 1.0, after: int = 0,
+                 limit: Optional[int] = None,
+                 match: Optional[Mapping[str, Any]] = None,
+                 payload: Optional[Mapping[str, Any]] = None):
+        if site not in KNOWN_SITES:
+            raise FaultConfigError(
+                f"unknown fault site {site!r}; known: {sorted(KNOWN_SITES)}")
+        if not 0.0 <= probability <= 1.0:
+            raise FaultConfigError(f"bad probability {probability}")
+        if after < 0:
+            raise FaultConfigError(f"negative 'after' {after}")
+        if limit is not None and limit < 1:
+            raise FaultConfigError(f"bad limit {limit}")
+        self.site = site
+        self.index = index
+        self.probability = probability
+        self.after = after
+        self.limit = limit
+        self.match = dict(match or {})
+        self.payload = dict(payload or {})
+        self.hits = 0
+        self.fired = 0
+        # str seeding is hashed with SHA-512 by CPython, so streams are
+        # stable across processes (unlike hash()-based seeding).
+        self._rng = random.Random(f"{seed}:{index}:{site}")
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        """True when every match key equals the site's context value."""
+        return all(context.get(key) == value
+                   for key, value in self.match.items())
+
+    def consider(self) -> bool:
+        """Register one matching hit; returns True when the rule fires."""
+        self.hits += 1
+        if self.hits <= self.after:
+            return False
+        if self.limit is not None and self.fired >= self.limit:
+            return False
+        if self.probability < 1.0 and self._rng.random() >= self.probability:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus the audit log of what fired."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rules: list[FaultRule] = []
+        self.events: list[FaultEvent] = []
+
+    def add(self, site: str, *, probability: float = 1.0, after: int = 0,
+            limit: Optional[int] = None,
+            match: Optional[Mapping[str, Any]] = None,
+            **payload: Any) -> FaultRule:
+        """Append a rule for ``site``; extra keywords become its payload."""
+        rule = FaultRule(site, len(self.rules), self.seed,
+                         probability=probability, after=after, limit=limit,
+                         match=match, payload=payload)
+        self.rules.append(rule)
+        return rule
+
+    def check(self, site: str, time: Optional[float] = None,
+              **context: Any) -> Optional[FaultDecision]:
+        """Ask whether a fault fires at ``site`` for this hit.
+
+        Every rule matching the site and context counts the hit (so rule
+        streams stay aligned however many rules exist); the first rule that
+        fires wins and is logged.
+        """
+        decision = None
+        for rule in self.rules:
+            if rule.site != site or not rule.matches(context):
+                continue
+            if rule.consider() and decision is None:
+                decision = FaultDecision(site=site, rule_index=rule.index,
+                                         hit=rule.hits, payload=rule.payload)
+                self.events.append(FaultEvent(
+                    site=site, rule_index=rule.index, hit=rule.hits,
+                    time=time, context=dict(context)))
+        return decision
+
+    def fired_count(self, site: Optional[str] = None) -> int:
+        """Number of logged fault events (optionally for one site)."""
+        if site is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.site == site)
+
+    def summary(self) -> dict[str, int]:
+        """Fired-event counts keyed by site (observability/test helper)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.site] = out.get(event.site, 0) + 1
+        return out
+
+
+def check_fault(plan: Optional[FaultPlan], site: str,
+                time: Optional[float] = None,
+                **context: Any) -> Optional[FaultDecision]:
+    """Plan-may-be-None wrapper every fault site goes through."""
+    if plan is None:
+        return None
+    return plan.check(site, time=time, **context)

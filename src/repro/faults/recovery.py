@@ -1,0 +1,72 @@
+"""Recovery knobs: bounded retries with backoff, and host fallback.
+
+One :class:`RetryPolicy` governs every host-side recovery loop — GET
+re-polls after a lost reply, full session re-establishment after a device
+program crash, and the final degradation from pushdown to a host-side scan.
+The defaults are deliberately small so degraded runs stay fast; tests pin
+their own policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry/backoff configuration for one execution."""
+
+    #: GET re-polls (with the same ack, triggering idempotent resume) before
+    #: the session is declared dead.
+    max_get_retries: int = 3
+    #: Full OPEN/GET/CLOSE session attempts (1 = no retry) before giving up
+    #: on the pushdown placement entirely.
+    max_session_attempts: int = 2
+    #: First backoff delay in virtual seconds; doubles per consecutive
+    #: failure (capped at ``backoff_cap_s``).
+    backoff_s: float = 1e-3
+    backoff_cap_s: float = 0.1
+    #: When pushdown attempts are exhausted, degrade to the conventional
+    #: host-side scan instead of failing the query.
+    fallback_to_host: bool = True
+
+    def __post_init__(self):
+        if self.max_get_retries < 0 or self.max_session_attempts < 1:
+            raise FaultConfigError("retry counts out of range")
+        if self.backoff_s < 0 or self.backoff_cap_s < self.backoff_s:
+            raise FaultConfigError("bad backoff configuration")
+
+    def backoff(self, failure_count: int) -> float:
+        """Delay before retry number ``failure_count`` (1-based)."""
+        return min(self.backoff_s * (2 ** max(0, failure_count - 1)),
+                   self.backoff_cap_s)
+
+
+#: Shared default policy.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+#: Device-side error classes worth retrying: injected or environmental
+#: failures that a fresh attempt (or the host fallback path) can survive.
+#: Everything else — protocol misuse, resource-grant refusals, validation
+#: errors — is deterministic and re-raises immediately, exactly as before
+#: the fault layer existed.
+TRANSIENT_ERROR_NAMES = frozenset({
+    "ProgramCrashError",
+    "DeviceTimeoutError",
+    "UncorrectableMediaError",
+    "ProgramFailError",
+})
+
+
+def is_transient_error(error: str) -> bool:
+    """Classify a session's ``"ExcName: detail"`` error string.
+
+    Device programs report failures to the host as strings (the GET reply's
+    ``error`` field), so the retry loop classifies by the leading exception
+    name rather than by type.
+    """
+    name = error.split(":", 1)[0].strip()
+    return name in TRANSIENT_ERROR_NAMES

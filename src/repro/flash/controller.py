@@ -24,11 +24,17 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Generator, Sequence
 
+from repro.errors import UncorrectableMediaError
+from repro.faults import SITE_NAND_READ, check_fault
 from repro.flash.ftl import PageMappedFtl
 from repro.flash.geometry import NandGeometry, NandTiming
 from repro.flash.nand import NandArray
 from repro.sim import Bandwidth, Event, Resource, Simulator, seize
 from repro.storage.page import verify_page
+
+#: ECC read-retry rounds (re-sense with shifted thresholds) before a page
+#: is declared uncorrectable.
+ECC_RETRY_LIMIT = 4
 
 
 class FlashController:
@@ -36,19 +42,23 @@ class FlashController:
 
     def __init__(self, sim: Simulator, geometry: NandGeometry,
                  timing: NandTiming, nand: NandArray, ftl: PageMappedFtl,
-                 dram_bus_rate: float, verify_ecc: bool = True):
+                 dram_bus_rate: float, verify_ecc: bool = True,
+                 ecc_retry_limit: int = ECC_RETRY_LIMIT):
         self.sim = sim
         self.geometry = geometry
         self.timing = timing
         self.nand = nand
         self.ftl = ftl
         self.verify_ecc = verify_ecc
+        self.ecc_retry_limit = ecc_retry_limit
         self.dram_bus = Bandwidth(sim, dram_bus_rate, name="device-dram-bus")
         self.channels = [
             Resource(sim, 1, name=f"flash-channel-{i}")
             for i in range(geometry.channels)
         ]
         self.ecc_pages_checked = 0
+        self.ecc_retries = 0
+        self.ecc_uncorrectable = 0
 
     # -- timed operations ----------------------------------------------------
 
@@ -74,6 +84,7 @@ class FlashController:
             for channel, count in by_channel.items()
         ]
         yield self.sim.all_of(channel_jobs)
+        yield from self._ecc_retry_rounds(ppns, occupancy)
 
         total = len(lpns) * self.geometry.page_nbytes
         yield from self.dram_bus.transfer(total)
@@ -105,6 +116,36 @@ class FlashController:
             for channel, count in by_channel.items()
         ]
         yield self.sim.all_of(channel_jobs)
+
+    def _ecc_retry_rounds(self, ppns: Sequence[int],
+                          occupancy: float) -> Generator[Event, None, None]:
+        """Injected media errors: re-sense flagged pages with ECC retries.
+
+        Each flagged page re-occupies its channel for the decided number of
+        read-retry rounds (shifted-threshold re-senses); a page needing more
+        rounds than the budget fails the whole unit with
+        :class:`~repro.errors.UncorrectableMediaError`.
+        """
+        faults = getattr(self.sim, "faults", None)
+        if faults is None:
+            return
+        for ppn in ppns:
+            decision = check_fault(faults, SITE_NAND_READ,
+                                   time=self.sim.now, ppn=ppn)
+            if decision is None:
+                continue
+            rounds = int(decision.payload.get("retries", 1))
+            self.ecc_retries += rounds
+            if self.sim.tracer is not None:
+                self.sim.tracer.mark(self.sim.now, "ecc-retry",
+                                     f"ppn={ppn} rounds={rounds}")
+            if rounds > self.ecc_retry_limit:
+                self.ecc_uncorrectable += 1
+                raise UncorrectableMediaError(
+                    f"page {ppn} unreadable after "
+                    f"{self.ecc_retry_limit} ECC retries")
+            channel = self.geometry.channel_of(ppn)
+            yield from seize(self.channels[channel], rounds * occupancy)
 
     # -- instantaneous helpers ------------------------------------------------
 

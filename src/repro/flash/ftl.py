@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import DeviceError, FlashError
+from repro.errors import DeviceError, FlashError, ProgramFailError
 from repro.flash.geometry import NandGeometry
 from repro.flash.nand import NandArray, PageState
 
@@ -39,6 +39,10 @@ DEFAULT_OVERPROVISION = 0.08
 #: die (beyond the dedicated spare block).
 GC_HEADROOM_BLOCKS = 2
 
+#: Consecutive NAND program failures tolerated for one logical write before
+#: the device gives up (each failed attempt burns one physical slot).
+PROGRAM_RETRY_LIMIT = 8
+
 
 @dataclass
 class FtlStats:
@@ -47,6 +51,9 @@ class FtlStats:
     host_writes: int = 0
     gc_relocations: int = 0
     erases: int = 0
+    program_retries: int = 0    # NAND program failures retried on a new slot
+    recoveries: int = 0         # unclean-shutdown recovery scans completed
+    recovered_pages: int = 0    # live pages remapped by those scans
 
     @property
     def write_amplification(self) -> float:
@@ -97,6 +104,8 @@ class PageMappedFtl:
                 self._die_of[(channel, chip)] = die
         self._next_die = 0
         self._gc_victims: set[tuple[int, int, int]] = set()
+        self._write_seq = 0
+        self._needs_recovery = False
         # Exported capacity: the requested over-provisioning, floored by a
         # hard per-die reserve (the spare block plus GC headroom plus one
         # block of slack).
@@ -112,6 +121,7 @@ class PageMappedFtl:
 
     def lookup(self, lpn: int) -> int:
         """PPN currently holding ``lpn``; raises if unmapped."""
+        self._check_recovered()
         try:
             return self._map[lpn]
         except KeyError:
@@ -132,6 +142,7 @@ class PageMappedFtl:
 
     def write(self, lpn: int, data: bytes) -> int:
         """Write a logical page out-of-place; returns the new PPN."""
+        self._check_recovered()
         self._check_lpn(lpn)
         if (lpn not in self._map
                 and self.mapped_pages >= self.logical_capacity_pages):
@@ -143,13 +154,14 @@ class PageMappedFtl:
         # Maintain headroom *before* programming, so GC never encounters a
         # programmed page without a logical owner.
         self._maybe_collect(die)
-        ppn = self._program_on_die(die, data)
+        ppn = self._program_on_die(die, data, lpn)
         self.stats.host_writes += 1
         self._map[lpn] = ppn
         return ppn
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page (TRIM); no-op if unmapped."""
+        self._check_recovered()
         old = self._map.pop(lpn, None)
         if old is not None:
             self._invalidate_ppn(old)
@@ -173,13 +185,31 @@ class PageMappedFtl:
             free += self.geometry.pages_per_block - die.next_page
         return free
 
-    def _program_on_die(self, die: _Die, data: bytes) -> int:
-        ppn = self._take_slot(die)
-        self.nand.program(ppn, data)
-        block_key = (die.channel, die.chip,
-                     self.geometry.unflatten(ppn)[2])
-        self._valid_count[block_key] = self._valid_count.get(block_key, 0) + 1
-        return ppn
+    def _program_on_die(self, die: _Die, data: bytes, lpn: int) -> int:
+        """Program ``data`` for ``lpn``, retrying past failed NAND slots.
+
+        The page carries (LPN, sequence) out-of-band metadata so
+        :meth:`recover` can rebuild the map after an unclean shutdown. A
+        failed program leaves its slot INVALID (reclaimed at erase) and the
+        write moves to the next slot, as real firmware does.
+        """
+        for __ in range(PROGRAM_RETRY_LIMIT):
+            ppn = self._take_slot(die)
+            self._write_seq += 1
+            try:
+                self.nand.program(ppn, data, oob=(lpn, self._write_seq))
+            except ProgramFailError:
+                self.stats.program_retries += 1
+                die.invalid_pages += 1
+                continue
+            block_key = (die.channel, die.chip,
+                         self.geometry.unflatten(ppn)[2])
+            self._valid_count[block_key] = (
+                self._valid_count.get(block_key, 0) + 1)
+            return ppn
+        raise DeviceError(
+            f"die ({die.channel},{die.chip}) failed {PROGRAM_RETRY_LIMIT} "
+            "consecutive page programs")
 
     def _take_slot(self, die: _Die) -> int:
         if (die.active_block < 0
@@ -242,7 +272,7 @@ class PageMappedFtl:
                         raise FlashError(f"orphan programmed page {ppn}")
                     data = self.nand.read(ppn)
                     self._invalidate_ppn(ppn)
-                    new_ppn = self._program_on_die(die, data)
+                    new_ppn = self._program_on_die(die, data, lpn)
                     self.stats.gc_relocations += 1
                     self._map[lpn] = new_ppn
             self.nand.erase_block(channel, chip, block)
@@ -278,6 +308,97 @@ class PageMappedFtl:
                 and best_valid >= self.geometry.pages_per_block):
             return None
         return best
+
+    # -- crash recovery -------------------------------------------------------
+
+    def unclean_shutdown(self) -> None:
+        """Simulate power loss: every volatile structure is gone.
+
+        The DRAM-resident map, valid counts, and allocation cursors are
+        dropped; only the NAND array (data + out-of-band metadata) survives.
+        All host-facing operations raise until :meth:`recover` runs.
+        """
+        self._map = {}
+        self._valid_count = {}
+        self._gc_victims = set()
+        for die in self._dies:
+            die.free_blocks = []
+            die.active_block = -1
+            die.next_page = 0
+            die.spare_block = -1
+            die.invalid_pages = 0
+        self._needs_recovery = True
+
+    def recover(self) -> int:
+        """Rebuild the logical map by scanning NAND out-of-band metadata.
+
+        For every programmed page the stored (LPN, sequence) pair is read
+        back; the highest sequence wins an LPN and stale or orphaned pages
+        are invalidated. Die allocation state is rebuilt conservatively:
+        any block holding data is sealed (its erased tail is reclaimed by a
+        later GC erase) and one fully-erased block per die becomes the new
+        spare. Returns the number of live pages remapped.
+        """
+        geometry = self.geometry
+        best: dict[int, tuple[int, int]] = {}   # lpn -> (seq, ppn)
+        stale: list[int] = []
+        for ppn in self.nand.programmed_ppns():
+            meta = self.nand.oob(ppn)
+            if meta is None:
+                stale.append(ppn)
+                continue
+            lpn, seq = meta
+            current = best.get(lpn)
+            if current is None or seq > current[0]:
+                if current is not None:
+                    stale.append(current[1])
+                best[lpn] = (seq, ppn)
+            else:
+                stale.append(ppn)
+        for ppn in stale:
+            self.nand.invalidate(ppn)
+
+        self._map = {lpn: ppn for lpn, (__, ppn) in best.items()}
+        self._valid_count = {}
+        for ppn in self._map.values():
+            channel, chip, block, __ = geometry.unflatten(ppn)
+            key = (channel, chip, block)
+            self._valid_count[key] = self._valid_count.get(key, 0) + 1
+
+        for die in self._dies:
+            erased_blocks = []
+            invalid = 0
+            for block in range(geometry.blocks_per_chip):
+                first = geometry.ppn(die.channel, die.chip, block, 0)
+                states = [self.nand.state(ppn)
+                          for ppn in range(first,
+                                           first + geometry.pages_per_block)]
+                if all(state is PageState.ERASED for state in states):
+                    erased_blocks.append(block)
+                invalid += sum(state is PageState.INVALID
+                               for state in states)
+            if not erased_blocks:
+                raise FlashError(
+                    f"die ({die.channel},{die.chip}) has no erased block "
+                    "left for the GC spare; device unrecoverable")
+            die.spare_block = erased_blocks.pop()
+            die.free_blocks = erased_blocks
+            die.active_block = -1
+            die.next_page = 0
+            die.invalid_pages = invalid
+
+        self._write_seq = max((seq for seq, __ in best.values()), default=0)
+        self._needs_recovery = False
+        recovered = len(self._map)
+        self.stats.recoveries += 1
+        self.stats.recovered_pages += recovered
+        return recovered
+
+    def _check_recovered(self) -> None:
+        if self._needs_recovery:
+            raise DeviceError(
+                "FTL volatile state lost by unclean shutdown; "
+                "recover() must run first")
 
     def _invalidate_ppn(self, ppn: int) -> None:
         self.nand.invalidate(ppn)

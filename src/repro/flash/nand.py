@@ -14,8 +14,10 @@ the data actually written.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
-from repro.errors import FlashError
+from repro.errors import FlashError, ProgramFailError
+from repro.faults import SITE_NAND_PROGRAM, check_fault
 from repro.flash.geometry import NandGeometry
 
 
@@ -34,9 +36,16 @@ class NandArray:
         self.geometry = geometry
         self._data: dict[int, bytes] = {}
         self._state: dict[int, PageState] = {}
+        # Out-of-band metadata per programmed page: the owning LPN and a
+        # monotonic write sequence — what real firmware stashes in the spare
+        # area so the mapping survives power loss.
+        self._oob: dict[int, tuple[int, int]] = {}
         self.reads = 0
         self.programs = 0
         self.erases = 0
+        self.program_failures = 0
+        #: Optional :class:`repro.faults.FaultPlan` (wired by the device).
+        self.faults = None
 
     def state(self, ppn: int) -> PageState:
         """Current state of a page (pages start erased)."""
@@ -51,8 +60,16 @@ class NandArray:
         self.reads += 1
         return self._data[ppn]
 
-    def program(self, ppn: int, data: bytes) -> None:
-        """Program an erased page with exactly one page of bytes."""
+    def program(self, ppn: int, data: bytes,
+                oob: Optional[tuple[int, int]] = None) -> None:
+        """Program an erased page with exactly one page of bytes.
+
+        ``oob`` carries (LPN, write-sequence) metadata into the page's
+        out-of-band area; the FTL uses it to rebuild its mapping after an
+        unclean shutdown. An injected program failure leaves the page
+        unusable (INVALID, reclaimed on the next block erase) and raises
+        :class:`~repro.errors.ProgramFailError` for firmware to retry.
+        """
         self._check_ppn(ppn)
         if len(data) != self.geometry.page_nbytes:
             raise FlashError(
@@ -62,9 +79,25 @@ class NandArray:
             raise FlashError(
                 f"program of {self.state(ppn).value} page {ppn} "
                 "(erase-before-program violated)")
+        if check_fault(self.faults, SITE_NAND_PROGRAM, ppn=ppn) is not None:
+            self._state[ppn] = PageState.INVALID
+            self.program_failures += 1
+            raise ProgramFailError(f"program failure at page {ppn}")
         self._data[ppn] = bytes(data)
         self._state[ppn] = PageState.PROGRAMMED
+        if oob is not None:
+            self._oob[ppn] = oob
         self.programs += 1
+
+    def oob(self, ppn: int) -> Optional[tuple[int, int]]:
+        """The (LPN, sequence) metadata programmed alongside a page."""
+        self._check_ppn(ppn)
+        return self._oob.get(ppn)
+
+    def programmed_ppns(self) -> list[int]:
+        """Every page currently holding live data, in PPN order."""
+        return sorted(ppn for ppn, state in self._state.items()
+                      if state is PageState.PROGRAMMED)
 
     def invalidate(self, ppn: int) -> None:
         """Mark a programmed page's data as superseded (FTL bookkeeping)."""
@@ -80,6 +113,7 @@ class NandArray:
         for ppn in range(first, first + geometry.pages_per_block):
             self._state.pop(ppn, None)
             self._data.pop(ppn, None)
+            self._oob.pop(ppn, None)
         self.erases += 1
 
     def block_page_states(self, channel: int, chip: int,

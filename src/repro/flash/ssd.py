@@ -17,7 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Sequence
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, DeviceTimeoutError
+from repro.faults import (
+    DEAD_COMMAND_TIMEOUT_S,
+    SITE_DEVICE_DEAD,
+    SITE_DEVICE_SLOW,
+    SITE_UNCLEAN_SHUTDOWN,
+    FaultPlan,
+    check_fault,
+)
 from repro.flash.controller import FlashController
 from repro.flash.dram import DeviceDram
 from repro.flash.ftl import PageMappedFtl
@@ -76,6 +84,58 @@ class Ssd:
         self.interface = Bandwidth(sim, self.spec.interface.effective_rate,
                                    name=f"{self.spec.name}-interface")
         self._next_lpn = 0
+        if getattr(sim, "faults", None) is not None:
+            self.install_fault_plan(sim.faults)
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Wire a fault plan into this device (and the shared simulator)."""
+        self.sim.faults = plan
+        self.nand.faults = plan
+
+    def power_cycle(self, clean: bool = True) -> int:
+        """Power the device off and on again (untimed maintenance action).
+
+        A clean cycle is a no-op — firmware flushed its map. An unclean one
+        (``clean=False``, or a fault plan firing at ``ftl.unclean_shutdown``)
+        drops the FTL's volatile state and replays the out-of-band recovery
+        scan. Returns the number of live pages remapped (0 when clean).
+        """
+        decision = check_fault(getattr(self.sim, "faults", None),
+                               SITE_UNCLEAN_SHUTDOWN, time=self.sim.now,
+                               device=self.spec.name)
+        if clean and decision is None:
+            return 0
+        self.ftl.unclean_shutdown()
+        recovered = self.ftl.recover()
+        if self.sim.tracer is not None:
+            self.sim.tracer.mark(self.sim.now, "ftl-recovery",
+                                 f"{self.spec.name}: {recovered} pages")
+        return recovered
+
+    def _maybe_slow(self, command: str) -> Generator[Event, None, None]:
+        """Inject a straggler delay when the fault plan marks us slow."""
+        decision = check_fault(getattr(self.sim, "faults", None),
+                               SITE_DEVICE_SLOW, time=self.sim.now,
+                               device=self.spec.name, command=command)
+        if decision is None:
+            return
+        yield self.sim.timeout(
+            float(decision.payload.get("delay", DEAD_COMMAND_TIMEOUT_S)))
+
+    def _check_alive(self, command: str) -> Generator[Event, None, None]:
+        """Raise (after a timeout's worth of waiting) when the device is
+        marked dead by the fault plan."""
+        decision = check_fault(getattr(self.sim, "faults", None),
+                               SITE_DEVICE_DEAD, time=self.sim.now,
+                               device=self.spec.name, command=command)
+        if decision is None:
+            return
+        yield self.sim.timeout(
+            float(decision.payload.get("delay", DEAD_COMMAND_TIMEOUT_S)))
+        raise DeviceTimeoutError(
+            f"{self.spec.name}: no reply to {command} command")
 
     @property
     def page_nbytes(self) -> int:
@@ -121,6 +181,7 @@ class Ssd:
 
     def host_read(self, lpns: Sequence[int]) -> Generator[Event, None, list[bytes]]:
         """Conventional path: flash -> device DRAM -> host interface."""
+        yield from self._check_alive("read")
         pages = yield from self.controller.read_lpns(lpns)
         yield from self.interface.transfer(len(lpns) * self.page_nbytes)
         return pages

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import CatalogError, PlanError
 from repro.engine.plans import Query
+from repro.faults import FaultPlan, HealthRegistry
 from repro.flash.hdd import Hdd, HddSpec
 from repro.flash.ssd import Ssd, SsdSpec
 from repro.host.bufferpool import BufferPool
@@ -58,6 +59,9 @@ class Database:
         self.buffer_pool = BufferPool(self.config.host.buffer_pool_nbytes)
         self.catalog = Catalog()
         self.energy_meter = EnergyMeter(self.config.host.power)
+        #: Per-device failure tracking; the optimizer vetoes pushdown to
+        #: quarantined devices.
+        self.health = HealthRegistry()
         self._devices: dict[str, Any] = {}
 
     @property
@@ -85,6 +89,18 @@ class Database:
             raise CatalogError(f"device {name!r} already attached")
         self._devices[name] = device
         return device
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Install a fault plan across the world: simulator + all devices.
+
+        Devices attached later pick the plan up from ``sim.faults`` in
+        their constructors. With no plan installed every fault site is a
+        no-op and execution is bit-identical to a fault-free build.
+        """
+        self.sim.faults = plan
+        for device in self._devices.values():
+            if hasattr(device, "install_fault_plan"):
+                device.install_fault_plan(plan)
 
     def device(self, name: str) -> Any:
         """Look up an attached device."""

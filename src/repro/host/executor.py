@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.engine.kernels import AggState, BuildCollector, PageKernel
 from repro.engine.plans import Query
-from repro.errors import PlanError, ProtocolError
+from repro.errors import (
+    DeviceTimeoutError,
+    PlanError,
+    ProgramCrashError,
+    ProtocolError,
+)
+from repro.faults import DEFAULT_RETRY_POLICY, RetryPolicy, is_transient_error
 from repro.host.catalog import Table
 from repro.model.counters import WorkCounters
 from repro.sim import Event, Resource
@@ -115,6 +121,7 @@ def host_query_process(db: "Database", query: Query,
     table = db.catalog.table(query.table)
     device = db.device(table.device_name)
     outcome = QueryOutcome(rows=None)
+    ecc_before = _ecc_retries(device)
 
     hash_table = None
     large_table = False
@@ -176,7 +183,14 @@ def host_query_process(db: "Database", query: Query,
         outcome.rows = _merge_select_chunks(query, flat)
     else:
         outcome.rows = _finalize_aggregates(query, agg_total)
+    outcome.counters.ecc_retries += _ecc_retries(device) - ecc_before
     return outcome
+
+
+def _ecc_retries(device: Any) -> int:
+    """ECC read-retry count of a device's flash controller (HDDs: 0)."""
+    controller = getattr(device, "controller", None)
+    return controller.ecc_retries if controller is not None else 0
 
 
 def _fetch_unit(db: "Database", device: Any, table: Table,
@@ -213,8 +227,18 @@ def _fetch_unit(db: "Database", device: Any, table: Table,
 def smart_query_process(db: "Database", query: Query,
                         io_unit_pages: int = IO_UNIT_PAGES,
                         window: int = PIPELINE_WINDOW,
+                        retry_policy: Optional[RetryPolicy] = None,
                         ) -> Generator[Event, None, QueryOutcome]:
-    """Run ``query`` inside the Smart SSD via OPEN/GET/CLOSE."""
+    """Run ``query`` inside the Smart SSD via OPEN/GET/CLOSE.
+
+    Transient device failures (injected program crashes, lost GET replies,
+    dead devices) are retried per ``retry_policy``: lost replies are
+    re-polled with the idempotent ack/resume handshake, crashed sessions are
+    re-OPENed from scratch, and when every pushdown attempt is exhausted the
+    query degrades to :func:`host_query_process` — the paper's conventional
+    path — rather than failing. Deterministic errors (protocol misuse,
+    memory-grant refusals) re-raise immediately, as they always did.
+    """
     table = db.catalog.table(query.table)
     device = db.device(table.device_name)
     if not isinstance(device, SmartSsd):
@@ -242,17 +266,81 @@ def smart_query_process(db: "Database", query: Query,
     else:
         program = "scan_filter"
 
+    policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+    fault = WorkCounters()  # recovery events, merged into the final outcome
+    ecc_before = _ecc_retries(device)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            outcome = yield from _pushdown_attempt(
+                db, device, query, table, program, arguments, policy, fault)
+        except (ProgramCrashError, DeviceTimeoutError) as exc:
+            db.health.record_failure(table.device_name)
+            if attempt < policy.max_session_attempts:
+                fault.session_retries += 1
+                if db.sim.tracer is not None:
+                    db.sim.tracer.mark(
+                        db.sim.now, "session-retry",
+                        f"{table.device_name} attempt {attempt + 1}: {exc}")
+                yield db.sim.timeout(policy.backoff(attempt))
+                continue
+            if not policy.fallback_to_host:
+                raise
+            fault.pushdown_fallbacks += 1
+            if db.sim.tracer is not None:
+                db.sim.tracer.mark(db.sim.now, "pushdown-fallback",
+                                   f"{table.device_name}: {exc}")
+            # Attribute the failed pushdown attempts' ECC retries now; the
+            # host path accounts for its own reads.
+            fault.ecc_retries += _ecc_retries(device) - ecc_before
+            outcome = yield from host_query_process(db, query,
+                                                    io_unit_pages, window)
+        else:
+            db.health.record_success(table.device_name)
+            fault.ecc_retries += _ecc_retries(device) - ecc_before
+        outcome.counters.add(fault)
+        return outcome
+
+
+def _pushdown_attempt(db: "Database", device: SmartSsd, query: Query,
+                      table: Table, program: str, arguments: dict[str, Any],
+                      policy: RetryPolicy, fault: WorkCounters,
+                      ) -> Generator[Event, None, QueryOutcome]:
+    """One OPEN/GET/CLOSE session, with in-session GET retries."""
     outcome = QueryOutcome(rows=None)
     session_id = yield from device.open_session(
         OpenParams(program=program, arguments=arguments))
 
     payload: list[Any] = []
+    ack = 0
+    get_failures = 0
     while True:
-        response = yield from device.get(session_id)
+        try:
+            response = yield from device.get(session_id, ack=ack)
+        except DeviceTimeoutError:
+            # The reply was lost in flight; re-poll with the stale ack so
+            # the device retransmits it (GET is idempotent under retry).
+            fault.get_timeouts += 1
+            get_failures += 1
+            if get_failures > policy.max_get_retries:
+                yield from _close_quietly(device, session_id)
+                raise
+            if db.sim.tracer is not None:
+                db.sim.tracer.mark(db.sim.now, "get-retry",
+                                   f"{table.device_name} session={session_id}"
+                                   f" retry={get_failures}")
+            yield db.sim.timeout(policy.backoff(get_failures))
+            continue
+        get_failures = 0
+        ack = response.seq
         payload.extend(response.payload)
         if response.status is SessionStatus.FAILED:
-            error = response.error
-            yield from device.close_session(session_id)
+            error = response.error or "unknown device error"
+            yield from _close_quietly(device, session_id)
+            if is_transient_error(error):
+                fault.device_program_crashes += 1
+                raise ProgramCrashError(f"device program failed: {error}")
             raise ProtocolError(f"device program failed: {error}")
         if response.status is SessionStatus.DONE and not response.payload:
             break
@@ -279,6 +367,19 @@ def smart_query_process(db: "Database", query: Query,
                           + (db.catalog.table(query.join.build_table).page_count
                              if query.join else 0))
     return outcome
+
+
+def _close_quietly(device: SmartSsd,
+                   session_id: int) -> Generator[Event, None, None]:
+    """Best-effort CLOSE on an already-doomed session.
+
+    A dead device times out its CLOSE too; swallowing that keeps the
+    original failure as the error the retry loop classifies.
+    """
+    try:
+        yield from device.close_session(session_id)
+    except (DeviceTimeoutError, ProtocolError):
+        pass
 
 
 def _check_pushdown_safety(db: "Database", table: Table) -> None:

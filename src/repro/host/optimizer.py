@@ -177,6 +177,11 @@ def choose_placement(db: "Database", query: Query,
     if not isinstance(device, SmartSsd):
         return PlacementDecision("host", "device is not a Smart SSD",
                                  host_estimate, None, selectivity)
+    if db.health.is_quarantined(table.device_name):
+        return PlacementDecision(
+            "host",
+            f"device {table.device_name!r} is quarantined after repeated "
+            "failures", host_estimate, None, selectivity)
     for t in tables:
         dirty = db.buffer_pool.dirty_lpns(t.device_name)
         extent = range(t.heap.first_lpn,

@@ -35,6 +35,14 @@ class WorkCounters:
     output_values: int = 0          # values materialized into result tuples
     io_units: int = 0               # I/O-unit submissions (protocol overhead)
 
+    # Fault/recovery events (not priced in cycles — their time is charged
+    # at the fault sites — but surfaced so degraded runs are observable).
+    ecc_retries: int = 0            # extra NAND read-retry rounds
+    get_timeouts: int = 0           # GET replies lost and re-polled
+    session_retries: int = 0        # OPEN/GET/CLOSE sessions re-established
+    device_program_crashes: int = 0  # sessions that ended FAILED
+    pushdown_fallbacks: int = 0     # pushdown queries degraded to host scan
+
     def add(self, other: "WorkCounters") -> None:
         """Accumulate another counter set into this one."""
         for field in fields(self):

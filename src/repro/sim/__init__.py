@@ -11,7 +11,7 @@ integrals so utilization and energy can be derived after a run.
 from repro.sim.engine import Event, Process, Simulator
 from repro.sim.resources import Bandwidth, Resource, seize
 from repro.sim.stats import BusyTracker
-from repro.sim.trace import Tracer
+from repro.sim.trace import TraceMark, Tracer
 
 __all__ = [
     "Bandwidth",
@@ -20,6 +20,7 @@ __all__ = [
     "Process",
     "Resource",
     "Simulator",
+    "TraceMark",
     "Tracer",
     "seize",
 ]

@@ -144,6 +144,9 @@ class Simulator:
         #: Optional :class:`repro.sim.trace.Tracer`; when set, every
         #: resource reports its level changes here.
         self.tracer = None
+        #: Optional :class:`repro.faults.FaultPlan`; when set, fault sites
+        #: throughout the stack consult it (and no-op when it is None).
+        self.faults = None
 
     @property
     def now(self) -> float:

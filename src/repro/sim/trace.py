@@ -30,15 +30,44 @@ class LevelChange:
     level: float
 
 
+@dataclass(frozen=True)
+class TraceMark:
+    """One discrete timeline event (fault fired, retry, fallback...)."""
+
+    time: float
+    label: str
+    detail: str = ""
+
+
 class Tracer:
     """Records per-resource usage levels over virtual time."""
 
     def __init__(self):
         self._events: dict[str, list[LevelChange]] = defaultdict(list)
+        self._marks: list[TraceMark] = []
 
     def record(self, resource: str, time: float, level: float) -> None:
         """Record that ``resource``'s in-use level changed at ``time``."""
         self._events[resource].append(LevelChange(time=time, level=level))
+
+    def mark(self, time: float, label: str, detail: str = "") -> None:
+        """Record a discrete timeline event (fault, retry, fallback...)."""
+        self._marks.append(TraceMark(time=time, label=label, detail=detail))
+
+    def marks(self, label: str | None = None) -> list[TraceMark]:
+        """Recorded marks, optionally filtered to one label."""
+        if label is None:
+            return list(self._marks)
+        return [mark for mark in self._marks if mark.label == label]
+
+    def format_marks(self) -> str:
+        """One line per mark: ``@time label detail`` (degraded-run audit)."""
+        if not self._marks:
+            return "(no marks)"
+        return "\n".join(
+            f"@{mark.time:.6g}s {mark.label}"
+            + (f" {mark.detail}" if mark.detail else "")
+            for mark in self._marks)
 
     def resources(self) -> list[str]:
         """Names of every traced resource, sorted."""

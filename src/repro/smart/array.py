@@ -14,12 +14,20 @@ exchange operator would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import PlanError
+from repro.errors import (
+    ArrayMemberError,
+    DeviceTimeoutError,
+    PlanError,
+    ProgramCrashError,
+    ProtocolError,
+)
+from repro.faults import DEFAULT_RETRY_POLICY, RetryPolicy, is_transient_error
+from repro.model.counters import WorkCounters
 from repro.sim import Simulator
 from repro.smart.device import SmartSsd, SmartSsdSpec
 from repro.storage import HeapFile, Layout, Schema, build_heap_pages
@@ -102,22 +110,34 @@ class SmartSsdArray:
 
     # -- parallel execution ------------------------------------------------------
 
-    def execute(self, query) -> "ArrayResult":
+    def execute(self, query,
+                retry_policy: Optional[RetryPolicy] = None) -> "ArrayResult":
         """Run a query across every device in parallel and merge partials.
 
         The host acts purely as the coordinator: it OPENs one session per
         device, drains them with GET, and merges the partial aggregates or
         row chunks — the "parallel DBMS" structure §4.3 sketches.
+
+        Per-worker recovery mirrors the single-device executor: lost GET
+        replies are re-polled with the ack/resume handshake, crashed worker
+        sessions are re-OPENed, and a worker whose pushdown attempts are
+        exhausted degrades to a coordinator-side scan of just its partition
+        (the device still serves plain reads). Only a *dead* member — whose
+        partition is unreachable even for block reads — hard-fails the
+        query with :class:`~repro.errors.ArrayMemberError`: round-robin
+        partitioning keeps no replica to recover from.
         """
         from repro.engine.kernels import AggState
-        from repro.errors import ProtocolError
-        from repro.smart.protocol import OpenParams, SessionStatus
         from repro.smart.programs.base import (IO_UNIT_PAGES,
                                                PIPELINE_WINDOW)
 
+        policy = (retry_policy if retry_policy is not None
+                  else DEFAULT_RETRY_POLICY)
         table = self.table(query.table)
         build = self.table(query.join.build_table) if query.join else None
         start = self.sim.now
+        counters = WorkCounters()
+        degraded: list[str] = []
 
         def device_driver(index: int, device: SmartSsd):
             arguments = {
@@ -133,21 +153,33 @@ class SmartSsdArray:
                 program = "aggregate"
             else:
                 program = "scan_filter"
-            session_id = yield from device.open_session(
-                OpenParams(program=program, arguments=arguments))
-            payload = []
+            attempt = 0
             while True:
-                response = yield from device.get(session_id)
-                payload.extend(response.payload)
-                if response.status is SessionStatus.FAILED:
-                    yield from device.close_session(session_id)
-                    raise ProtocolError(
-                        f"worker {device.spec.name}: {response.error}")
-                if (response.status is SessionStatus.DONE
-                        and not response.payload):
-                    break
-            yield from device.close_session(session_id)
-            return payload
+                attempt += 1
+                try:
+                    payload = yield from self._worker_session(
+                        device, program, arguments, policy, counters)
+                    return payload
+                except (ProgramCrashError, DeviceTimeoutError) as exc:
+                    if attempt < policy.max_session_attempts:
+                        counters.session_retries += 1
+                        yield self.sim.timeout(policy.backoff(attempt))
+                        continue
+                    if not policy.fallback_to_host:
+                        raise ArrayMemberError(
+                            f"worker {device.spec.name} failed: {exc}"
+                        ) from exc
+                    counters.pushdown_fallbacks += 1
+                    degraded.append(device.spec.name)
+                    try:
+                        payload = yield from self._host_partition_scan(
+                            device, query, table.heaps[index],
+                            build.heaps[index] if build else None)
+                    except DeviceTimeoutError as unreachable:
+                        raise ArrayMemberError(
+                            f"partition {index} on {device.spec.name} "
+                            f"unreachable: {unreachable}") from exc
+                    return payload
 
         drivers = [self.sim.process(device_driver(i, device),
                                     name=f"array-worker-{i}")
@@ -156,6 +188,8 @@ class SmartSsdArray:
         self.sim.run()
         if not gate.triggered:
             raise PlanError("array query deadlocked")
+        if not gate.ok:
+            raise gate.value
 
         state = AggState()
         row_chunks = []
@@ -173,7 +207,91 @@ class SmartSsdArray:
             from repro.host.executor import _merge_select_chunks
             rows = _merge_select_chunks(query, row_chunks)
         return ArrayResult(rows=rows, elapsed_seconds=self.sim.now - start,
-                           device_count=len(self.devices))
+                           device_count=len(self.devices),
+                           counters=counters, degraded=tuple(degraded))
+
+    def _worker_session(self, device: SmartSsd, program: str,
+                        arguments: dict, policy: RetryPolicy,
+                        counters: WorkCounters):
+        """One worker's OPEN/GET/CLOSE exchange with in-session GET retries."""
+        from repro.smart.protocol import OpenParams, SessionStatus
+
+        session_id = yield from device.open_session(
+            OpenParams(program=program, arguments=arguments))
+        payload = []
+        ack = 0
+        get_failures = 0
+        while True:
+            try:
+                response = yield from device.get(session_id, ack=ack)
+            except DeviceTimeoutError:
+                counters.get_timeouts += 1
+                get_failures += 1
+                if get_failures > policy.max_get_retries:
+                    raise
+                yield self.sim.timeout(policy.backoff(get_failures))
+                continue
+            get_failures = 0
+            ack = response.seq
+            payload.extend(response.payload)
+            if response.status is SessionStatus.FAILED:
+                error = response.error or "unknown device error"
+                try:
+                    yield from device.close_session(session_id)
+                except (DeviceTimeoutError, ProtocolError):
+                    pass
+                if is_transient_error(error):
+                    counters.device_program_crashes += 1
+                    raise ProgramCrashError(
+                        f"worker {device.spec.name}: {error}")
+                raise ProtocolError(f"worker {device.spec.name}: {error}")
+            if (response.status is SessionStatus.DONE
+                    and not response.payload):
+                break
+        yield from device.close_session(session_id)
+        return payload
+
+    def _host_partition_scan(self, device: SmartSsd, query,
+                             heap: HeapFile,
+                             build_heap: Optional[HeapFile]):
+        """Degraded path: the coordinator scans one partition itself.
+
+        Pages cross the host interface via timed block reads and the page
+        kernels run on the coordinator (untimed here — the array models no
+        host CPU; the interface crossing is the dominant, and modeled,
+        cost). The payload shape matches what the worker session would have
+        produced, so the merge step cannot tell the difference.
+        """
+        from repro.engine.kernels import (AggState, BuildCollector,
+                                          PageKernel)
+        from repro.smart.programs.base import IO_UNIT_PAGES, unit_lpn_runs
+
+        hash_table = None
+        if query.join is not None:
+            collector = BuildCollector(build_heap.schema, query.join)
+            for lpns in unit_lpn_runs(build_heap, IO_UNIT_PAGES):
+                pages = yield from device.host_read(lpns)
+                collector.consume(pages, WorkCounters(), build_heap.layout)
+            hash_table = collector.finish()
+        kernel = PageKernel(query, heap.schema, heap.layout,
+                            hash_table=hash_table)
+        select_mode = bool(query.select)
+        agg = AggState()
+        payload = []
+        for index, lpns in enumerate(unit_lpn_runs(heap, IO_UNIT_PAGES)):
+            pages = yield from device.host_read(lpns)
+            chunks = []
+            for page in pages:
+                partial = kernel.process_page(page)
+                if select_mode:
+                    chunks.append(partial.columns)
+                else:
+                    agg.merge(partial.agg, query.aggregates)
+            if select_mode:
+                payload.append((index, chunks))
+        if not select_mode:
+            payload.append(("agg", agg))
+        return payload
 
 
 @dataclass
@@ -183,3 +301,8 @@ class ArrayResult:
     rows: Any
     elapsed_seconds: float
     device_count: int
+    #: Recovery events observed during the run (GET timeouts, worker
+    #: session retries, coordinator-side fallbacks...).
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    #: Names of members whose partitions fell back to coordinator scans.
+    degraded: tuple[str, ...] = ()

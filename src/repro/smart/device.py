@@ -8,8 +8,14 @@ session runtime, and the timed host-facing OPEN/GET/CLOSE commands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator
+from typing import Generator, Optional
 
+from repro.errors import DeviceTimeoutError
+from repro.faults import (
+    DEAD_COMMAND_TIMEOUT_S,
+    SITE_GET_TIMEOUT,
+    check_fault,
+)
 from repro.flash.ssd import DevicePower, Ssd, SsdSpec
 from repro.model.costs import DEFAULT_COSTS, DEVICE_CPU, CpuSpec, CycleCosts
 from repro.sim import Event, Resource, Simulator, seize
@@ -77,6 +83,8 @@ class SmartSsd(Ssd):
     def open_session(self, params: OpenParams
                      ) -> Generator[Event, None, int]:
         """OPEN: grant resources, start the program, return the session id."""
+        yield from self._check_alive("open")
+        yield from self._maybe_slow("open")
         yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
         session = self.runtime.open(params)
         program = self.runtime.program(params.program)
@@ -85,25 +93,55 @@ class SmartSsd(Ssd):
                          name=f"{self.spec.name}-session-{session.id}")
         return session.id
 
-    def get(self, session_id: int) -> Generator[Event, None, GetResponse]:
+    def get(self, session_id: int, ack: Optional[int] = None
+            ) -> Generator[Event, None, GetResponse]:
         """GET: poll status and drain any staged results.
 
         Blocks (as a modeling convenience standing in for a tuned host poll
         loop) until the session has news: results to drain or a final
         status.
+
+        ``ack`` is the sequence number of the last reply the host actually
+        received. When it trails the session's reply counter, the previous
+        reply was lost in flight and is retransmitted verbatim instead of
+        draining new results — so a timed-out GET can simply be retried.
+        A fault plan firing at ``get.timeout`` models the loss: the staged
+        reply is dropped on the wire and the command raises
+        :class:`~repro.errors.DeviceTimeoutError` after the timeout delay.
         """
+        yield from self._check_alive("get")
+        yield from self._maybe_slow("get")
         yield from self.interface.transfer(GET_FRAME_NBYTES)
         session = self.runtime.session(session_id)
-        if not session.has_news():
-            yield session.wait_news()
-        payload, nbytes = session.drain()
+        if ack is not None and session.reply_seq > ack:
+            seq, payload, nbytes = session.replay_reply()
+        else:
+            if not session.has_news():
+                yield session.wait_news()
+            seq, payload, nbytes = session.drain_reply()
         if nbytes:
             yield from self.interface.transfer(nbytes)
+        decision = check_fault(getattr(self.sim, "faults", None),
+                               SITE_GET_TIMEOUT, time=self.sim.now,
+                               device=self.spec.name, session=session_id,
+                               seq=seq)
+        if decision is not None:
+            if self.sim.tracer is not None:
+                self.sim.tracer.mark(self.sim.now, "get-timeout",
+                                     f"{self.spec.name} session={session_id} "
+                                     f"seq={seq}")
+            yield self.sim.timeout(
+                float(decision.payload.get("delay", DEAD_COMMAND_TIMEOUT_S)))
+            raise DeviceTimeoutError(
+                f"{self.spec.name}: GET reply {seq} for session "
+                f"{session_id} lost")
         return GetResponse(session_id=session_id, status=session.status,
                            payload=payload, payload_nbytes=nbytes,
-                           error=session.error)
+                           error=session.error, seq=seq)
 
     def close_session(self, session_id: int) -> Generator[Event, None, None]:
         """CLOSE: tear the session down and release its grants."""
+        yield from self._check_alive("close")
+        yield from self._maybe_slow("close")
         yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
         self.runtime.close(session_id)

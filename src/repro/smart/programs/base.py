@@ -29,10 +29,13 @@ from repro.engine.kernels import (
     PageKernel,
 )
 from repro.engine.plans import Query
-from repro.errors import ProtocolError
+from repro.errors import ProgramCrashError, ProtocolError
+from repro.faults import SITE_SESSION_CRASH, check_fault
 from repro.model.counters import WorkCounters
 from repro.sim import Event, Resource
 from repro.storage.heapfile import HeapFile
+
+from repro.smart.protocol import SessionStatus
 
 if TYPE_CHECKING:
     from repro.smart.device import SmartSsd
@@ -126,8 +129,27 @@ def execute_query(device: "SmartSsd", session: "Session",
         yield from _execute_query_body(device, session, args)
     except Exception as exc:  # surfaced to the host through GET
         session.fail(f"{type(exc).__name__}: {exc}")
+        if device.sim.tracer is not None:
+            device.sim.tracer.mark(device.sim.now, "session-failed",
+                                   f"{device.spec.name} session={session.id} "
+                                   f"{type(exc).__name__}")
         return
     session.finish()
+
+
+def _maybe_crash(device: "SmartSsd", session: "Session",
+                 stage: str, unit: int) -> None:
+    """Fault site: the uploaded program dies mid-unit (paper §5 lists
+    in-device program failures as an open deployment problem)."""
+    decision = check_fault(getattr(device.sim, "faults", None),
+                           SITE_SESSION_CRASH, time=device.sim.now,
+                           device=device.spec.name,
+                           program=session.params.program,
+                           stage=stage, unit=unit)
+    if decision is not None:
+        raise ProgramCrashError(
+            f"injected crash in {session.params.program!r} "
+            f"({stage} unit {unit})")
 
 
 def _execute_query_body(device: "SmartSsd", session: "Session",
@@ -151,9 +173,12 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
         build_window = Resource(sim, args.window,
                                 name=f"session-{session.id}-build-window")
 
-        def build_unit(lpns: list[int]):
+        def build_unit(index: int, lpns: list[int]):
             yield build_window.request()
             try:
+                if session.status is not SessionStatus.RUNNING:
+                    return  # a sibling unit already crashed the program
+                _maybe_crash(device, session, "build", index)
                 pages = yield from device.internal_read(lpns)
                 counters = WorkCounters()
                 counters.io_units += 1
@@ -167,7 +192,7 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                 build_window.release()
 
         build_jobs = [
-            sim.process(build_unit(lpns),
+            sim.process(build_unit(i, lpns),
                         name=f"session-{session.id}-build-{i}")
             for i, lpns in enumerate(
                 unit_lpn_runs(args.build_heap, args.io_unit_pages))
@@ -186,6 +211,9 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
     def unit_process(index: int, lpns: list[int]):
         yield window.request()
         try:
+            if session.status is not SessionStatus.RUNNING:
+                return  # a sibling unit already crashed the program
+            _maybe_crash(device, session, "scan", index)
             pages = yield from device.internal_read(lpns)
             counters = WorkCounters()
             counters.io_units += 1

@@ -52,13 +52,21 @@ class OpenParams:
 
 @dataclass
 class GetResponse:
-    """One GET reply: status plus any results drained this poll."""
+    """One GET reply: status plus any results drained this poll.
+
+    ``seq`` numbers the replies of one session (1, 2, ...). The host echoes
+    the last sequence it *received* as the ``ack`` of its next GET; when a
+    reply is lost in flight (an injected timeout), the mismatch tells the
+    device to retransmit the stored reply instead of draining new results —
+    GET is idempotent under retry, and no result chunk is lost or doubled.
+    """
 
     session_id: int
     status: SessionStatus
     payload: list[Any] = field(default_factory=list)
     payload_nbytes: int = 0
     error: Optional[str] = None
+    seq: int = 0
 
 
 #: Size of an OPEN/CLOSE command frame on the wire (a command block plus the

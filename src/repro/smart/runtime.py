@@ -38,6 +38,8 @@ class Session:
     pending_nbytes: int = 0
     grants: list[int] = field(default_factory=list)
     counters: WorkCounters = field(default_factory=WorkCounters)
+    reply_seq: int = 0
+    _last_reply: Optional[tuple[int, list[Any], int]] = None
     _waiters: list[Event] = field(default_factory=list)
 
     # -- producer side (the device program) ---------------------------------
@@ -66,6 +68,25 @@ class Session:
         payload, self.pending_payload = self.pending_payload, []
         nbytes, self.pending_nbytes = self.pending_nbytes, 0
         return payload, nbytes
+
+    def drain_reply(self) -> tuple[int, list[Any], int]:
+        """Drain into a numbered reply, kept for idempotent retransmission.
+
+        The previous reply is only discarded once a newer drain happens —
+        i.e. once the host's ack implies it arrived. Returns
+        ``(seq, payload, nbytes)``.
+        """
+        payload, nbytes = self.drain()
+        self.reply_seq += 1
+        self._last_reply = (self.reply_seq, payload, nbytes)
+        return self._last_reply
+
+    def replay_reply(self) -> tuple[int, list[Any], int]:
+        """Retransmit the stored reply after the host missed it."""
+        if self._last_reply is None:
+            raise ProtocolError(
+                f"session {self.id} has no reply to retransmit")
+        return self._last_reply
 
     def has_news(self) -> bool:
         """True when a GET would return something (data or a final status)."""

@@ -1,0 +1,140 @@
+"""Property tests: FTL invariants hold *under fault injection*.
+
+Extends the fault-free FTL properties with injected program failures and
+unclean-shutdown/recover cycles at arbitrary points in the operation
+stream. Whatever happens underneath — failed programs burning pages, GC
+relocations, volatile state loss and out-of-band recovery — two facts must
+never bend:
+
+* the logical map stays **injective** (no two LPNs share a physical page);
+* every LPN reads back the **bytes of its last successful write**.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.faults import SITE_NAND_PROGRAM, FaultPlan
+from repro.flash import NandArray, NandGeometry, PageMappedFtl
+from repro.storage.page import PAGE_SIZE
+
+
+def make_faulty_ftl(seed=0, probability=0.15):
+    geometry = NandGeometry(channels=2, chips_per_channel=2,
+                            blocks_per_chip=8, pages_per_block=4,
+                            page_nbytes=PAGE_SIZE)
+    nand = NandArray(geometry)
+    ftl = PageMappedFtl(geometry, nand, overprovision=0.3)
+    plan = FaultPlan(seed=seed)
+    plan.add(SITE_NAND_PROGRAM, probability=probability)
+    nand.faults = plan
+    return ftl, nand, plan
+
+
+def page_of(tag: int) -> bytes:
+    return (tag & 0xFFFFFFFF).to_bytes(4, "little") * (PAGE_SIZE // 4)
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 15), st.integers(0, 999)),
+                    min_size=1, max_size=100),
+       seed=st.integers(0, 7))
+@settings(max_examples=30, deadline=None)
+def test_reads_survive_program_failures(ops, seed):
+    """Random write sequences with ~15% program failures: every write that
+    returned still reads back exactly, and the retry accounting balances."""
+    ftl, nand, plan = make_faulty_ftl(seed=seed)
+    expected = {}
+    for lpn, tag in ops:
+        if (lpn not in expected
+                and len(expected) >= ftl.logical_capacity_pages):
+            continue
+        ftl.write(lpn, page_of(tag))
+        expected[lpn] = tag
+    for lpn, tag in expected.items():
+        assert ftl.read(lpn) == page_of(tag)
+    assert ftl.stats.program_retries == nand.program_failures
+    assert ftl.stats.program_retries == plan.fired_count(SITE_NAND_PROGRAM)
+    # Failed programs never count as completed ones.
+    assert nand.programs == ftl.stats.host_writes + ftl.stats.gc_relocations
+
+
+@given(ops=st.lists(st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 15), st.integers(0, 999)),
+    st.tuples(st.just("trim"), st.integers(0, 15), st.just(0)),
+), min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_recovery_rebuilds_exact_map(ops):
+    """After any write/trim sequence, dropping all volatile FTL state and
+    replaying the out-of-band scan reproduces the exact logical map."""
+    ftl, __, __plan = make_faulty_ftl(probability=0.1)
+    expected = {}
+    for op, lpn, tag in ops:
+        if op == "write":
+            if (lpn not in expected
+                    and len(expected) >= ftl.logical_capacity_pages):
+                continue
+            ftl.write(lpn, page_of(tag))
+            expected[lpn] = tag
+        else:
+            ftl.trim(lpn)
+            expected.pop(lpn, None)
+    ftl.unclean_shutdown()
+    recovered = ftl.recover()
+    assert recovered == len(expected)
+    assert ftl.mapped_pages == len(expected)
+    for lpn, tag in expected.items():
+        assert ftl.read(lpn) == page_of(tag)
+
+
+class FaultyFtlMachine(RuleBasedStateMachine):
+    """Stateful fuzz with faults: writes, trims, and crash/recover cycles
+    interleaved arbitrarily, checked against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.ftl, self.nand, self.plan = make_faulty_ftl(seed=3,
+                                                         probability=0.12)
+        self.model: dict[int, int] = {}
+        self.counter = 0
+
+    @rule(lpn=st.integers(0, 12))
+    def write(self, lpn):
+        if (lpn not in self.model
+                and len(self.model) >= self.ftl.logical_capacity_pages):
+            return
+        self.counter += 1
+        self.ftl.write(lpn, page_of(self.counter))
+        self.model[lpn] = self.counter
+
+    @rule(lpn=st.integers(0, 12))
+    def trim(self, lpn):
+        self.ftl.trim(lpn)
+        self.model.pop(lpn, None)
+
+    @rule()
+    def crash_and_recover(self):
+        self.ftl.unclean_shutdown()
+        self.ftl.recover()
+
+    @invariant()
+    def reads_match_model(self):
+        for lpn, tag in self.model.items():
+            assert self.ftl.read(lpn) == page_of(tag)
+        assert self.ftl.mapped_pages == len(self.model)
+
+    @invariant()
+    def map_is_injective(self):
+        mapping = self.ftl._map
+        assert len(set(mapping.values())) == len(mapping)
+
+    @invariant()
+    def physical_accounting_consistent(self):
+        stats = self.ftl.stats
+        assert self.nand.programs == (stats.host_writes
+                                      + stats.gc_relocations)
+        assert self.nand.program_failures == stats.program_retries
+
+
+TestFaultyFtlMachine = FaultyFtlMachine.TestCase
+TestFaultyFtlMachine.settings = settings(max_examples=20, deadline=None,
+                                         stateful_step_count=40)

@@ -1,0 +1,169 @@
+"""Negative-path protocol tests: misuse raises typed errors, never crashes.
+
+The OPEN/GET/CLOSE state machine must reject out-of-order commands with
+:class:`~repro.errors.ProtocolError` (a typed, catchable error) rather than
+surfacing KeyErrors or corrupting runtime state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import AggSpec, Col, Query
+from repro.errors import ProtocolError
+from repro.sim import Simulator
+from repro.smart.device import SmartSsd
+from repro.smart.protocol import OpenParams, SessionStatus
+from repro.storage import (
+    Column,
+    HeapFile,
+    Int32Type,
+    Layout,
+    Schema,
+    build_heap_pages,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("k", Int32Type()), Column("v", Int32Type())])
+
+
+@pytest.fixture
+def world(schema):
+    sim = Simulator()
+    device = SmartSsd(sim)
+    array = np.empty(50, dtype=schema.numpy_dtype())
+    array["k"] = np.arange(50)
+    array["v"] = 1
+    pages = build_heap_pages(schema, array, Layout.PAX, table_id=1)
+    first = device.load_extent(pages)
+    heap = HeapFile(schema=schema, layout=Layout.PAX, first_lpn=first,
+                    page_count=len(pages), tuple_count=len(array),
+                    table_id=1)
+    return sim, device, heap
+
+
+def run(sim, generator):
+    """Drive one protocol exchange to completion; returns its value."""
+    proc = sim.process(generator)
+    sim.run()
+    return proc.value
+
+
+def open_params(heap):
+    query = Query(table="t", aggregates=(AggSpec("count", None, "n"),))
+    return OpenParams(program="aggregate",
+                      arguments={"query": query, "heap": heap})
+
+
+class TestGetBeforeOpen:
+    def test_get_with_unissued_session_id(self, world):
+        sim, device, __ = world
+
+        def driver():
+            yield from device.get(999)
+
+        with pytest.raises(ProtocolError, match="unknown session"):
+            run(sim, driver())
+
+
+class TestDoubleClose:
+    def test_second_close_raises(self, world):
+        sim, device, heap = world
+
+        def driver():
+            session_id = yield from device.open_session(open_params(heap))
+            yield from device.close_session(session_id)
+            yield from device.close_session(session_id)
+
+        with pytest.raises(ProtocolError, match="unknown session"):
+            run(sim, driver())
+
+    def test_first_close_released_resources(self, world):
+        sim, device, heap = world
+
+        def driver():
+            session_id = yield from device.open_session(open_params(heap))
+            yield from device.close_session(session_id)
+            try:
+                yield from device.close_session(session_id)
+            except ProtocolError:
+                pass
+            return device.runtime.open_session_count
+
+        assert run(sim, driver()) == 0
+
+
+class TestGetAfterClose:
+    def test_get_on_closed_session_raises(self, world):
+        sim, device, heap = world
+
+        def driver():
+            session_id = yield from device.open_session(open_params(heap))
+            yield from device.close_session(session_id)
+            yield from device.get(session_id)
+
+        with pytest.raises(ProtocolError, match="unknown session"):
+            run(sim, driver())
+
+
+class TestOpenMisuse:
+    def test_unknown_program(self, world):
+        sim, device, heap = world
+
+        def driver():
+            yield from device.open_session(
+                OpenParams(program="no-such-program",
+                           arguments={"heap": heap}))
+
+        with pytest.raises(ProtocolError, match="no program"):
+            run(sim, driver())
+
+    def test_missing_arguments(self, world):
+        sim, device, __ = world
+
+        def driver():
+            yield from device.open_session(
+                OpenParams(program="aggregate", arguments={}))
+
+        with pytest.raises(ProtocolError, match="missing argument"):
+            run(sim, driver())
+
+
+class TestReplayMisuse:
+    def test_replay_with_no_stored_reply(self, world):
+        sim, device, heap = world
+
+        def driver():
+            session_id = yield from device.open_session(open_params(heap))
+            session = device.runtime.session(session_id)
+            session.replay_reply()
+
+        with pytest.raises(ProtocolError, match="no reply"):
+            run(sim, driver())
+
+    def test_completed_exchange_leaves_clean_state(self, world):
+        """A full exchange after a rejected command works normally."""
+        sim, device, heap = world
+
+        def driver():
+            try:
+                yield from device.get(12345)
+            except ProtocolError:
+                pass
+            session_id = yield from device.open_session(open_params(heap))
+            payload = []
+            while True:
+                response = yield from device.get(session_id)
+                payload.extend(response.payload)
+                assert response.status is not SessionStatus.FAILED
+                if (response.status is SessionStatus.DONE
+                        and not response.payload):
+                    break
+            yield from device.close_session(session_id)
+            return payload
+
+        payload = run(sim, driver())
+        (tag, state), = payload
+        assert tag == "agg"
+        assert state.values["n"] == 50
