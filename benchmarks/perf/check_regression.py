@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Compare a fresh harness run against the committed perf baseline.
+
+Wall-clock metrics are never compared raw across machines: both runs carry a
+CPU calibration time, and every metric is expressed in calibration units
+before comparison (throughputs multiply by the calibration, durations divide
+by it). Function-call counts are machine-independent and compared directly.
+
+Exit status is non-zero when any metric regresses by more than the
+tolerance (default 25%). Improvements never fail; run with
+``--update-baseline`` after an intentional perf change to re-baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py --output /tmp/now.json
+    python benchmarks/perf/check_regression.py /tmp/now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR2.json"
+
+#: Allowed fractional regression before the gate fails.
+TOLERANCE = 0.25
+
+
+def _normalize(report: dict) -> dict[str, float]:
+    """Express every metric in calibration units (machine-neutral)."""
+    calibration = report["calibration_s"]
+    normalized = {}
+    for key, value in report["metrics"].items():
+        if key.endswith("_per_s"):
+            # Work per calibration-unit of CPU: higher is better.
+            normalized[key] = value * calibration
+        elif key.endswith("_s"):
+            # Calibration units spent: lower is better.
+            normalized[key] = value / calibration
+        else:
+            # Counts: machine-independent, compare as-is (lower is better).
+            normalized[key] = float(value)
+    return normalized
+
+
+def _regression(key: str, baseline: float, current: float) -> float:
+    """Fractional regression (positive = worse) for one metric."""
+    if baseline <= 0:
+        return 0.0
+    if key.endswith("_per_s"):
+        return (baseline - current) / baseline
+    return (current - baseline) / baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path,
+                        help="JSON emitted by harness.py for this run")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the current run over the baseline and exit")
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = _normalize(json.loads(args.baseline.read_text()))
+    current = _normalize(json.loads(args.current.read_text()))
+
+    failures = []
+    for key in sorted(baseline):
+        if key not in current:
+            failures.append(f"{key}: missing from current run")
+            continue
+        regression = _regression(key, baseline[key], current[key])
+        marker = "FAIL" if regression > args.tolerance else "ok"
+        print(f"  [{marker}] {key}: {regression:+.1%} vs baseline "
+              f"(tolerance {args.tolerance:.0%})")
+        if regression > args.tolerance:
+            failures.append(f"{key}: {regression:+.1%}")
+
+    if failures:
+        print(f"\nperf regression gate FAILED ({len(failures)} metric(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

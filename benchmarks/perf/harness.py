@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Perf-regression micro-harness: times the hot paths, emits BENCH_PR2.json.
+
+Plain stdlib + numpy script (no pytest-benchmark) so it runs anywhere the
+library runs, including CI. It measures four micro-benchmarks (page encode,
+page decode, kernel page processing, DES event throughput), two end-to-end
+figures (Fig. 3 Q6 and Fig. 5 join selectivity), and one machine-independent
+metric: the total Python function-call count of a fixed workload, captured
+with cProfile. Wall-clock numbers are normalized by a CPU calibration loop
+so the regression gate (``check_regression.py``) is meaningful across
+machines of different speeds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_PR2.json"
+
+
+def _best_of(fn, repeats=3):
+    """Minimum wall-clock of ``repeats`` runs (noise-resistant)."""
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate() -> float:
+    """Seconds for a fixed CPU-bound workload; the unit for normalization."""
+    def work():
+        acc = 0
+        for i in range(400_000):
+            acc += i * i % 7
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(200_000)
+        for __ in range(20):
+            a = np.sort(a)[::-1].copy()
+        return acc
+
+    return _best_of(work)
+
+
+def bench_encode():
+    """Batched extent encoding, both layouts (pages/second)."""
+    from repro.storage import Layout, encode_pages
+    from repro.workloads import generate_lineitem, lineitem_schema
+
+    schema = lineitem_schema()
+    rows = generate_lineitem(0.002)
+    out = {}
+    for layout in (Layout.NSM, Layout.PAX):
+        pages = encode_pages(layout, schema, rows)  # warm geometry caches
+        elapsed = _best_of(lambda: encode_pages(layout, schema, rows))
+        out[f"encode_{layout.value}_pages_per_s"] = len(pages) / elapsed
+    return out
+
+
+def bench_decode():
+    """Full-page and projected-column decode (pages/second)."""
+    from repro.storage import Layout, decode_columns, decode_page, encode_pages
+    from repro.workloads import generate_lineitem, lineitem_schema
+
+    schema = lineitem_schema()
+    rows = generate_lineitem(0.002)
+    pages = encode_pages(Layout.PAX, schema, rows)
+    names = ("l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
+
+    def full():
+        for page in pages:
+            decode_page(schema, page)
+
+    def projected():
+        for page in pages:
+            decode_columns(schema, page, names)
+
+    return {
+        "decode_full_pages_per_s": len(pages) / _best_of(full),
+        "decode_projected_pages_per_s": len(pages) / _best_of(projected),
+    }
+
+
+def bench_kernel():
+    """Filter kernel throughput over encoded pages (pages/second)."""
+    from repro.engine.expressions import Col, Compare, Const
+    from repro.engine.kernels import PageKernel
+    from repro.engine.plans import Query
+    from repro.storage import Layout, encode_pages
+    from repro.workloads import generate_lineitem, lineitem_schema
+
+    schema = lineitem_schema()
+    rows = generate_lineitem(0.002)
+    pages = encode_pages(Layout.PAX, schema, rows)
+    query = Query(table="lineitem",
+                  predicate=Compare(Col("l_quantity"), "<", Const(2400)),
+                  select=(("l_extendedprice", Col("l_extendedprice")),),
+                  name="perf-filter")
+
+    def run():
+        kernel = PageKernel(query, schema, Layout.PAX)
+        for page in pages:
+            kernel.process_page(page)
+
+    return {"kernel_filter_pages_per_s": len(pages) / _best_of(run)}
+
+
+def bench_des():
+    """DES engine throughput (scheduled events/second of wall time)."""
+    from repro.sim import Resource, Simulator, seize
+
+    def run():
+        sim = Simulator()
+        resource = Resource(sim, 2)
+
+        def worker(start):
+            yield sim.timeout(start)
+            for __ in range(40):
+                yield from seize(resource, 0.001)
+
+        for i in range(500):
+            sim.process(worker(i * 0.0001))
+        sim.run()
+        return sim._sequence
+
+    events = run()
+    return {"des_events_per_s": events / _best_of(run)}
+
+
+def bench_figures():
+    """End-to-end wall-clock of two committed figures, cold caches."""
+    from repro.bench.figures import fig3_q6, fig5_join_selectivity
+    from repro.bench.runners import invalidate_workload_cache
+
+    out = {}
+    for name, fn in (("fig3_q6", fig3_q6),
+                     ("fig5_join_selectivity", fig5_join_selectivity)):
+        invalidate_workload_cache()
+        start = time.perf_counter()
+        fn()
+        out[f"{name}_s"] = time.perf_counter() - start
+    return out
+
+
+def count_calls():
+    """Total function calls of a fixed workload — machine-independent."""
+    from repro.bench.figures import fig3_q6
+    from repro.bench.runners import invalidate_workload_cache
+
+    invalidate_workload_cache()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fig3_q6()
+    profiler.disable()
+    profiler.create_stats()
+    return {"fig3_q6_function_calls":
+            int(sum(stat[0] for stat in profiler.stats.values()))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON (default: "
+                             f"{DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    calibration = calibrate()
+    metrics = {}
+    for section in (bench_encode, bench_decode, bench_kernel, bench_des,
+                    bench_figures):
+        section_metrics = section()
+        metrics.update(section_metrics)
+        for key, value in section_metrics.items():
+            print(f"  {key}: {value:,.1f}")
+    metrics.update(count_calls())
+    print(f"  fig3_q6_function_calls: {metrics['fig3_q6_function_calls']:,}")
+
+    from repro.bench.runners import workload_cache_stats
+    report = {
+        "calibration_s": calibration,
+        "metrics": metrics,
+        "workload_cache": dict(workload_cache_stats),
+        "python": sys.version.split()[0],
+    }
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

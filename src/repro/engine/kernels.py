@@ -254,7 +254,8 @@ class PageKernel:
         counters.pages_parsed += 1
         if self.layout is Layout.NSM:
             counters.nsm_tuples_parsed += n
-        columns = decode_columns(self.schema, page, self.needed_columns)
+        columns = decode_columns(self.schema, page, self.needed_columns,
+                                 header=header)
         touched = touched_bytes(self.layout, self.schema,
                                 self.needed_columns, n)
         ctx = EvalContext(columns, n, counters, self.layout)

@@ -30,21 +30,29 @@ class NandGeometry:
                       "pages_per_block", "page_nbytes"):
             if getattr(self, field) < 1:
                 raise FlashError(f"{field} must be positive")
+        # Derived sizes are consulted on every address check in the FTL/NAND
+        # hot path; compute them once (frozen dataclass, so via __setattr__).
+        object.__setattr__(self, "_dies",
+                           self.channels * self.chips_per_channel)
+        object.__setattr__(self, "_pages_per_chip",
+                           self.blocks_per_chip * self.pages_per_block)
+        object.__setattr__(self, "_total_pages",
+                           self._dies * self._pages_per_chip)
 
     @property
     def dies(self) -> int:
         """Total dies (chips) across all channels."""
-        return self.channels * self.chips_per_channel
+        return self._dies
 
     @property
     def pages_per_chip(self) -> int:
         """Flash pages on one die."""
-        return self.blocks_per_chip * self.pages_per_block
+        return self._pages_per_chip
 
     @property
     def total_pages(self) -> int:
         """Flash pages in the whole array."""
-        return self.dies * self.pages_per_chip
+        return self._total_pages
 
     @property
     def capacity_nbytes(self) -> int:

@@ -72,6 +72,32 @@ class Catalog:
         self._tables[name] = table
         return table
 
+    def create_table_from_pages(self, name: str, schema: Schema,
+                                layout: Layout, pages: Sequence[bytes],
+                                tuple_count: int, device: Any,
+                                table_id: int | None = None) -> Table:
+        """Load pre-encoded heap pages onto ``device`` and register them.
+
+        The fast path behind the workload build cache: pages are immutable
+        ``bytes``, so an extent encoded once can be loaded into any number
+        of independent worlds. ``table_id`` must match the id the pages
+        were encoded with (it is stamped into every page header); the
+        catalog's id counter advances past it so later tables never
+        collide.
+        """
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if table_id is None:
+            table_id = self._next_table_id
+        self._next_table_id = max(self._next_table_id, table_id + 1)
+        first_lpn = device.load_extent(pages)
+        heap = HeapFile(schema=schema, layout=layout, first_lpn=first_lpn,
+                        page_count=len(pages), tuple_count=tuple_count,
+                        table_id=table_id)
+        table = Table(name=name, heap=heap, device_name=device.spec.name)
+        self._tables[name] = table
+        return table
+
     def register(self, table: Table) -> None:
         """Register an externally-built table descriptor."""
         if table.name in self._tables:

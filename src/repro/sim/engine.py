@@ -35,7 +35,7 @@ class Event:
     current simulation instant.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled_value")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -81,6 +81,11 @@ class Event:
         callbacks, self.callbacks = self.callbacks, None
         for callback in callbacks or ():
             callback(self)
+
+    def _fire(self) -> None:
+        """Settle a scheduled timeout in place (no succeed() round-trip)."""
+        self._value = self._scheduled_value
+        self._run_callbacks()
 
 
 class Process(Event):
@@ -162,12 +167,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         event = Event(self)
-
-        def fire() -> None:
-            event._value = value
-            event._run_callbacks()
-
-        self._push(self._now + delay, fire)
+        event._scheduled_value = value
+        self._push(self._now + delay, event._fire)
         return event
 
     def process(self, generator: ProcessGenerator,
@@ -214,14 +215,16 @@ class Simulator:
 
         Returns the final virtual time.
         """
-        while self._queue:
-            when, _seq, work = self._queue[0]
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            when = queue[0][0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
             if when < self._now:
                 raise SimulationError("time went backwards")
+            work = heappop(queue)[2]
             self._now = when
             work()
         return self._now

@@ -16,7 +16,13 @@ arrays with zero copies on decode.
 """
 
 from repro.storage.heapfile import HeapFile, build_heap_pages
-from repro.storage.layout import Layout, decode_columns, decode_page, encode_page
+from repro.storage.layout import (
+    Layout,
+    decode_columns,
+    decode_page,
+    encode_page,
+    encode_pages,
+)
 from repro.storage.page import PAGE_SIZE, PageHeader
 from repro.storage.schema import Column, Schema
 from repro.storage.types import (
@@ -45,4 +51,5 @@ __all__ = [
     "decode_columns",
     "decode_page",
     "encode_page",
+    "encode_pages",
 ]

@@ -15,27 +15,22 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import StorageError
-from repro.storage.layout import Layout, encode_page, tuples_per_page
+from repro.storage.layout import Layout, encode_pages, tuples_per_page
 from repro.storage.schema import Schema
 
 
 def build_heap_pages(schema: Schema, rows: np.ndarray, layout: Layout,
                      table_id: int = 0) -> list[bytes]:
-    """Encode all rows into a list of full pages (last page may be partial)."""
+    """Encode all rows into a list of full pages (last page may be partial).
+
+    An empty relation still owns one (empty) page, so scans and extent
+    bookkeeping never special-case zero pages. The whole extent is encoded
+    in one vectorized pass (:func:`repro.storage.layout.encode_pages`).
+    """
     if rows.dtype != schema.numpy_dtype():
         raise StorageError(
             f"rows dtype {rows.dtype} does not match schema {schema!r}")
-    capacity = tuples_per_page(layout, schema)
-    if len(rows) == 0:
-        # An empty relation still owns one (empty) page, so scans and
-        # extent bookkeeping never special-case zero pages.
-        return [encode_page(layout, schema, rows, table_id=table_id)]
-    pages = []
-    for page_index, start in enumerate(range(0, len(rows), capacity)):
-        chunk = rows[start:start + capacity]
-        pages.append(encode_page(layout, schema, chunk,
-                                 table_id=table_id, page_index=page_index))
-    return pages
+    return encode_pages(layout, schema, rows, table_id=table_id)
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -49,32 +50,45 @@ def encode_page(layout: Layout, schema: Schema, rows: np.ndarray,
     return pax.encode_pax_page(schema, rows, table_id, page_index)
 
 
+def encode_pages(layout: Layout, schema: Schema, rows: np.ndarray,
+                 table_id: int = 0) -> list[bytes]:
+    """Encode a whole extent of rows in one vectorized batched pass.
+
+    Byte-identical to chunking ``rows`` by page capacity and calling
+    :func:`encode_page` with sequential page indexes, but avoids the
+    per-page Python loop over columns.
+    """
+    if layout is Layout.NSM:
+        return nsm.encode_nsm_pages(schema, rows, table_id=table_id)
+    return pax.encode_pax_pages(schema, rows, table_id=table_id)
+
+
 def decode_page(schema: Schema, page: bytes) -> np.ndarray:
     """Decode a full page (either layout) into a row-ordered array."""
     header = PageHeader.decode(page)
     layout = Layout.from_tag(header.layout_tag)
     if layout is Layout.NSM:
-        return nsm.decode_nsm_page(schema, page)
+        return nsm.decode_nsm_page(schema, page, header=header)
     return pax.decode_pax_page(schema, page)
 
 
-def decode_columns(schema: Schema, page: bytes,
-                   names: Iterable[str]) -> dict[str, np.ndarray]:
+def decode_columns(schema: Schema, page: bytes, names: Iterable[str],
+                   header: Optional[PageHeader] = None,
+                   ) -> dict[str, np.ndarray]:
     """Decode only the named columns from a page.
 
     For PAX pages only the referenced minipages are touched — the access
     pattern the device programs exploit. For NSM pages the whole record area
     must be parsed regardless (the cost model charges accordingly).
+
+    Pass a pre-decoded ``header`` to skip re-parsing it (hot decode path).
     """
-    header = PageHeader.decode(page)
+    if header is None:
+        header = PageHeader.decode(page)
     layout = Layout.from_tag(header.layout_tag)
-    names = list(names)
     if layout is Layout.PAX:
-        return {
-            name: pax.decode_pax_column(schema, page, schema.column_index(name))
-            for name in names
-        }
-    rows = nsm.decode_nsm_page(schema, page)
+        return pax.decode_pax_columns(schema, page, names, header=header)
+    rows = nsm.decode_nsm_page(schema, page, header=header)
     return {name: rows[name] for name in names}
 
 
@@ -85,7 +99,13 @@ def touched_bytes(layout: Layout, schema: Schema, names: Iterable[str],
     This feeds the device DRAM-bus contention model: an NSM reader walks
     whole records, a PAX reader only the referenced minipages.
     """
-    names = list(names)
+    return tuple_count * _touched_bytes_per_tuple(layout, schema,
+                                                  tuple(names))
+
+
+@lru_cache(maxsize=None)
+def _touched_bytes_per_tuple(layout: Layout, schema: Schema,
+                             names: tuple[str, ...]) -> int:
     if layout is Layout.NSM:
-        return tuple_count * nsm.record_stride(schema)
-    return tuple_count * sum(schema.column(n).nbytes for n in names)
+        return nsm.record_stride(schema)
+    return sum(schema.column(n).nbytes for n in names)

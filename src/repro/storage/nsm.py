@@ -7,9 +7,18 @@ grows backwards from the page tail.
 
 Because every record is fixed-width, the whole record area decodes as one
 NumPy structured-array view — no per-tuple Python loop.
+
+Geometry (record stride, tuple capacity, the padded record dtype, the
+full-page slot directory) depends only on the schema, so it is memoized on
+schema identity; :func:`encode_nsm_pages` encodes a whole extent in one
+vectorized pass instead of a per-page Python loop.
 """
 
 from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+from typing import Optional
 
 import numpy as np
 
@@ -20,7 +29,6 @@ from repro.storage.page import (
     PAGE_HEADER_NBYTES,
     PAGE_SIZE,
     PageHeader,
-    payload_crc,
 )
 from repro.storage.schema import Schema
 
@@ -33,6 +41,7 @@ def record_stride(schema: Schema) -> int:
     return schema.record_nbytes + NSM_RECORD_OVERHEAD
 
 
+@lru_cache(maxsize=None)
 def tuples_per_page(schema: Schema) -> int:
     """Maximum records that fit in one NSM page of this schema."""
     capacity = (PAGE_SIZE - PAGE_HEADER_NBYTES) // (
@@ -43,6 +52,7 @@ def tuples_per_page(schema: Schema) -> int:
     return capacity
 
 
+@lru_cache(maxsize=None)
 def _padded_dtype(schema: Schema) -> np.dtype:
     """Structured dtype whose itemsize spans the record header too."""
     offsets = []
@@ -56,6 +66,18 @@ def _padded_dtype(schema: Schema) -> np.dtype:
         "offsets": offsets,
         "itemsize": record_stride(schema),
     })
+
+
+@lru_cache(maxsize=None)
+def _slot_directory_bytes(schema: Schema, count: int) -> bytes:
+    """Encoded tail slot directory for a page holding ``count`` records.
+
+    Slot i lives at ``PAGE_SIZE - (i + 1) * NSM_SLOT_NBYTES``, so the
+    entries sit in reverse order in memory.
+    """
+    stride = record_stride(schema)
+    slot_offsets = np.arange(count, dtype="<u2") * stride + PAGE_HEADER_NBYTES
+    return slot_offsets[::-1].tobytes()
 
 
 def encode_nsm_page(schema: Schema, rows: np.ndarray, table_id: int,
@@ -79,29 +101,68 @@ def encode_nsm_page(schema: Schema, rows: np.ndarray, table_id: int,
     page[PAGE_HEADER_NBYTES:PAGE_HEADER_NBYTES + len(body)] = body
 
     # Slot directory, growing backwards from the page tail.
-    stride = record_stride(schema)
-    slot_offsets = np.arange(count, dtype="<u2") * stride + PAGE_HEADER_NBYTES
     if count:
-        # Slot i lives at PAGE_SIZE - (i + 1) * NSM_SLOT_NBYTES, so the
-        # entries sit in reverse order in memory.
-        reversed_slots = slot_offsets[::-1].tobytes()
-        page[PAGE_SIZE - len(reversed_slots):] = reversed_slots
+        slots = _slot_directory_bytes(schema, count)
+        page[PAGE_SIZE - len(slots):] = slots
 
+    # The CRC covers only the payload, so the header is written exactly once
+    # with the final checksum backfilled (no double encode).
+    crc = zlib.crc32(memoryview(page)[PAGE_HEADER_NBYTES:]) & 0xFFFFFFFF
     header = PageHeader(layout_tag=NSM_LAYOUT_TAG, tuple_count=count,
                         table_id=table_id, page_index=page_index,
-                        payload_crc=0)
+                        payload_crc=crc)
     page[:PAGE_HEADER_NBYTES] = header.encode()
-    crc = payload_crc(bytes(page))
-    final_header = PageHeader(layout_tag=NSM_LAYOUT_TAG, tuple_count=count,
-                              table_id=table_id, page_index=page_index,
-                              payload_crc=crc)
-    page[:PAGE_HEADER_NBYTES] = final_header.encode()
     return bytes(page)
 
 
-def decode_nsm_page(schema: Schema, page: bytes) -> np.ndarray:
-    """Decode all records of an NSM page into a structured array (a view)."""
-    header = PageHeader.decode(page)
+def encode_nsm_pages(schema: Schema, rows: np.ndarray,
+                     table_id: int = 0) -> list[bytes]:
+    """Encode a whole extent of rows into NSM pages in one vectorized pass.
+
+    Byte-identical to calling :func:`encode_nsm_page` per capacity-sized
+    chunk with sequential ``page_index`` values; the padded record area is
+    built for the entire extent at once instead of page by page.
+    """
+    from repro.storage.pax import _finalize_pages
+
+    capacity = tuples_per_page(schema)
+    stride = record_stride(schema)
+    n = len(rows)
+    full = n // capacity
+    remainder = n - full * capacity
+    page_count = max(1, full + (1 if remainder else 0))
+
+    padded = np.zeros(n, dtype=_padded_dtype(schema))
+    for name in schema.names:
+        padded[name] = rows[name]
+    body = padded.view(np.uint8).reshape(-1)
+
+    pages = np.zeros((page_count, PAGE_SIZE), dtype=np.uint8)
+    if full:
+        block = body[:full * capacity * stride]
+        pages[:full, PAGE_HEADER_NBYTES:PAGE_HEADER_NBYTES
+              + capacity * stride] = block.reshape(full, capacity * stride)
+        slots = np.frombuffer(_slot_directory_bytes(schema, capacity),
+                              dtype=np.uint8)
+        pages[:full, PAGE_SIZE - len(slots):] = slots
+    if remainder:
+        tail = body[full * capacity * stride:]
+        pages[full, PAGE_HEADER_NBYTES:PAGE_HEADER_NBYTES + len(tail)] = tail
+        slots = np.frombuffer(_slot_directory_bytes(schema, remainder),
+                              dtype=np.uint8)
+        pages[full, PAGE_SIZE - len(slots):] = slots
+
+    return _finalize_pages(pages, NSM_LAYOUT_TAG, capacity, n, table_id)
+
+
+def decode_nsm_page(schema: Schema, page: bytes,
+                    header: Optional[PageHeader] = None) -> np.ndarray:
+    """Decode all records of an NSM page into a structured array (a view).
+
+    Pass a pre-decoded ``header`` to skip re-parsing it (hot decode path).
+    """
+    if header is None:
+        header = PageHeader.decode(page)
     if header.layout_tag != NSM_LAYOUT_TAG:
         raise StorageError(f"not an NSM page (tag {header.layout_tag})")
     raw = np.frombuffer(page, dtype=_padded_dtype(schema),

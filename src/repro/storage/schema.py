@@ -13,25 +13,29 @@ from repro.storage.types import ColumnType
 class Column:
     """A named column with a fixed-width type."""
 
-    __slots__ = ("name", "ctype")
+    __slots__ = ("name", "ctype", "_nbytes", "_hash")
 
     def __init__(self, name: str, ctype: ColumnType):
         if not name or not name.isidentifier():
             raise CatalogError(f"bad column name: {name!r}")
         self.name = name
         self.ctype = ctype
+        # Width and hash are immutable and on the hottest paths (page
+        # geometry lookups hash whole schemas), so resolve both exactly once.
+        self._nbytes = ctype.nbytes
+        self._hash = hash((name, ctype))
 
     @property
     def nbytes(self) -> int:
         """Storage width of one value."""
-        return self.ctype.nbytes
+        return self._nbytes
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, Column)
                 and self.name == other.name and self.ctype == other.ctype)
 
     def __hash__(self) -> int:
-        return hash((self.name, self.ctype))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Column({self.name!r}, {self.ctype!r})"
@@ -48,21 +52,25 @@ class Schema:
             raise CatalogError("a schema needs at least one column")
         self.columns = tuple(columns)
         self._index = {c.name: i for i, c in enumerate(self.columns)}
+        self._names = tuple(c.name for c in self.columns)
+        self._record_nbytes = sum(c.nbytes for c in self.columns)
+        self._numpy_dtype = np.dtype(
+            [(c.name, c.ctype.numpy_dtype) for c in self.columns])
+        self._hash = hash(self.columns)
 
     @property
     def record_nbytes(self) -> int:
         """Bytes of one packed record (no alignment padding)."""
-        return sum(c.nbytes for c in self.columns)
+        return self._record_nbytes
 
     @property
     def names(self) -> tuple[str, ...]:
         """Column names, in order."""
-        return tuple(c.name for c in self.columns)
+        return self._names
 
     def numpy_dtype(self) -> np.dtype:
         """Packed structured dtype matching the on-page record format."""
-        return np.dtype(
-            [(c.name, c.ctype.numpy_dtype) for c in self.columns])
+        return self._numpy_dtype
 
     def column_index(self, name: str) -> int:
         """Position of column ``name``; raises CatalogError if unknown."""
@@ -105,7 +113,7 @@ class Schema:
         return isinstance(other, Schema) and self.columns == other.columns
 
     def __hash__(self) -> int:
-        return hash(self.columns)
+        return self._hash
 
     def __len__(self) -> int:
         return len(self.columns)

@@ -1,0 +1,118 @@
+"""Property tests: the uncontended-seize fast path changes nothing observable.
+
+``repro.sim.resources.FAST_PATH`` collapses an uncontended acquire/hold/
+release into a single timeout. Correctness claim: across *any* schedule —
+including ones that saturate the resource, where the fast path only triggers
+for a subset of grants — virtual completion times, final time, busy
+integrals, utilization, and byte counters are identical with the flag on or
+off. The golden benchmark results rely on this equivalence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.resources as resources
+from repro.sim import Bandwidth, Resource, Simulator, seize
+
+#: (start_delay, hold_time) per worker; starts collide on purpose (coarse
+#: grid) so schedules mix contended and uncontended grants.
+_schedules = st.lists(
+    st.tuples(st.integers(0, 8).map(lambda t: t * 0.5),
+              st.floats(min_value=0.01, max_value=3.0, allow_nan=False)),
+    min_size=1, max_size=25)
+
+
+def _run_resource_schedule(schedule, capacity, fast_path):
+    old = resources.FAST_PATH
+    resources.FAST_PATH = fast_path
+    try:
+        sim = Simulator()
+        resource = Resource(sim, capacity)
+        done = {}
+
+        def worker(index, start, hold):
+            yield sim.timeout(start)
+            yield from seize(resource, hold)
+            done[index] = sim.now
+
+        for i, (start, hold) in enumerate(schedule):
+            sim.process(worker(i, start, hold))
+        sim.run()
+        return {
+            "now": sim.now,
+            "done": done,
+            "busy": resource.busy.busy_time(sim.now),
+            "utilization": resource.utilization(),
+            "in_use": resource.in_use,
+            "queue": resource.queue_length,
+        }
+    finally:
+        resources.FAST_PATH = old
+
+
+def _run_bandwidth_schedule(schedule, fast_path):
+    old = resources.FAST_PATH
+    resources.FAST_PATH = fast_path
+    try:
+        sim = Simulator()
+        link = Bandwidth(sim, 1000.0)
+        done = {}
+
+        def mover(index, start, nbytes):
+            yield sim.timeout(start)
+            yield from link.transfer(nbytes)
+            done[index] = sim.now
+
+        for i, (start, hold) in enumerate(schedule):
+            sim.process(mover(i, start, int(hold * 1000)))
+        sim.run()
+        return {
+            "now": sim.now,
+            "done": done,
+            "bytes": link.bytes_moved,
+            "utilization": link.utilization(),
+        }
+    finally:
+        resources.FAST_PATH = old
+
+
+@given(_schedules, st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_fastpath_resource_equivalence(schedule, capacity):
+    fast = _run_resource_schedule(schedule, capacity, fast_path=True)
+    slow = _run_resource_schedule(schedule, capacity, fast_path=False)
+    assert fast == slow  # exact float equality: same adds in the same order
+
+
+@given(_schedules)
+@settings(max_examples=40, deadline=None)
+def test_fastpath_bandwidth_equivalence(schedule):
+    fast = _run_bandwidth_schedule(schedule, fast_path=True)
+    slow = _run_bandwidth_schedule(schedule, fast_path=False)
+    assert fast == slow
+
+
+@given(_schedules, st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_fastpath_reduces_event_count(schedule, capacity):
+    """The optimization must actually remove queue pushes, not just match."""
+
+    def count_pushes(fast_path):
+        old = resources.FAST_PATH
+        resources.FAST_PATH = fast_path
+        try:
+            sim = Simulator()
+            resource = Resource(sim, capacity)
+
+            def worker(start, hold):
+                yield sim.timeout(start)
+                yield from seize(resource, hold)
+
+            for start, hold in schedule:
+                sim.process(worker(start, hold))
+            sim.run()
+            return sim._sequence
+        finally:
+            resources.FAST_PATH = old
+
+    assert count_pushes(True) <= count_pushes(False)
