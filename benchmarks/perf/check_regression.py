@@ -64,6 +64,9 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=TOLERANCE)
     parser.add_argument("--update-baseline", action="store_true",
                         help="copy the current run over the baseline and exit")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated metric keys to gate on "
+                             "(default: every baseline metric)")
     args = parser.parse_args(argv)
 
     if args.update_baseline:
@@ -73,6 +76,15 @@ def main(argv=None) -> int:
 
     baseline = _normalize(json.loads(args.baseline.read_text()))
     current = _normalize(json.loads(args.current.read_text()))
+
+    if args.only:
+        wanted = [key.strip() for key in args.only.split(",") if key.strip()]
+        unknown = [key for key in wanted if key not in baseline]
+        if unknown:
+            print(f"--only names metrics absent from the baseline: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return 2
+        baseline = {key: baseline[key] for key in wanted}
 
     failures = []
     for key in sorted(baseline):

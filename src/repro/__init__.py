@@ -18,17 +18,21 @@ The package simulates the paper's entire stack in Python:
 
 Quick taste::
 
-    from repro import Database, Layout
+    import repro
     from repro.workloads import generate_lineitem, lineitem_schema, q6_query
 
-    db = Database()
-    db.create_smart_ssd()
-    db.create_table("lineitem", lineitem_schema(), Layout.PAX,
-                    generate_lineitem(0.01), "smart-ssd")
-    report = db.execute(q6_query(), placement="smart")
+    session = repro.connect()
+    session.db.create_smart_ssd()
+    session.create_table("lineitem", lineitem_schema(), repro.Layout.PAX,
+                         generate_lineitem(0.01), "smart-ssd")
+    report = session.execute(q6_query(), placement=repro.Placement.SMART)
     print(report.summary())
+
+Observability (spans, metrics, chrome-trace export) lives in
+:mod:`repro.obs`; pass ``observability=True`` to :func:`repro.connect`.
 """
 
+from repro.api import Session, connect
 from repro.engine import (
     Add,
     AggSpec,
@@ -43,6 +47,7 @@ from repro.engine import (
     LikePrefix,
     Mul,
     Or,
+    Placement,
     Query,
     Sub,
     and_all,
@@ -88,14 +93,17 @@ __all__ = [
     "LikePrefix",
     "Mul",
     "Or",
+    "Placement",
     "Query",
     "ReproError",
     "Schema",
+    "Session",
     "SmartSsd",
     "SmartSsdArray",
     "SmartSsdSpec",
     "Sub",
     "and_all",
+    "connect",
     "run_reference",
     "__version__",
 ]

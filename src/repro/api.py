@@ -1,0 +1,110 @@
+"""The top-level facade: ``repro.connect(config) -> Session``.
+
+A :class:`Session` is the redesigned front door for query execution. It
+wraps a :class:`~repro.host.db.Database`, takes placements as the
+:class:`~repro.engine.plans.Placement` enum (no more ``"host"``/``"smart"``
+strings), and accepts either a built :class:`~repro.engine.plans.Query` or
+a SQL string — the two entry points the old API exposed separately
+(``Database.execute`` vs ``Database.sql``) collapse into one
+:meth:`Session.execute`.
+
+::
+
+    import repro
+
+    session = repro.connect(observability=True)
+    session.db.create_smart_ssd()
+    ...create tables...
+    report = session.execute("SELECT sum(l_extendedprice) FROM lineitem",
+                             placement=repro.Placement.SMART)
+
+The old string-typed ``Database.execute(..., placement="smart")`` remains
+as a deprecated shim; see ``docs/ARCHITECTURE.md`` for the migration note.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.plans import Placement, Query
+from repro.host.db import Database, DatabaseConfig
+from repro.model.report import ExecutionReport
+from repro.storage import Layout, Schema
+
+
+class Session:
+    """A connection-like handle over one simulated database world."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    # -- setup conveniences (thin delegation) ------------------------------
+
+    @property
+    def obs(self):
+        """The attached :class:`repro.obs.Observability`, or None."""
+        return self.db.obs
+
+    def create_table(self, name: str, schema: Schema, layout: Layout,
+                     rows: Union[np.ndarray, Iterable[Sequence[Any]]],
+                     device_name: str):
+        """Create and bulk-load a heap table on the named device."""
+        return self.db.create_table(name, schema, layout, rows, device_name)
+
+    # -- execution ---------------------------------------------------------
+
+    def compile(self, statement: str) -> Query:
+        """Parse and bind a SQL SELECT into a :class:`Query`."""
+        from repro.sql import compile_sql
+        return compile_sql(statement, self.db.catalog)
+
+    def execute(self, query_or_sql: Union[Query, str],
+                placement: Union[Placement, str] = Placement.HOST,
+                io_unit_pages: Optional[int] = None,
+                window: Optional[int] = None) -> ExecutionReport:
+        """Execute a built :class:`Query` or a SQL string.
+
+        ``placement`` is a :class:`Placement` (legacy strings are coerced);
+        ``Placement.AUTO`` defers to the cost-based optimizer.
+        """
+        if isinstance(query_or_sql, str):
+            query_or_sql = self.compile(query_or_sql)
+        elif not isinstance(query_or_sql, Query):
+            raise TypeError(
+                f"Session.execute takes a Query or a SQL string, "
+                f"got {type(query_or_sql).__name__}")
+        return self.db.execute_placed(query_or_sql, placement,
+                                      io_unit_pages=io_unit_pages,
+                                      window=window)
+
+    def execute_concurrent(
+            self,
+            runs: Sequence[tuple[Union[Query, str], Union[Placement, str]]],
+            ) -> list[ExecutionReport]:
+        """Run several (query-or-SQL, placement) pairs in one window."""
+        prepared = []
+        for query_or_sql, placement in runs:
+            if isinstance(query_or_sql, str):
+                query_or_sql = self.compile(query_or_sql)
+            prepared.append((query_or_sql, Placement.coerce(placement)))
+        return self.db.execute_concurrent(prepared)
+
+    def explain(self, query_or_sql: Union[Query, str],
+                placement: Union[Placement, str] = Placement.SMART) -> str:
+        """Render the physical plan for a query or SQL string."""
+        return self.db.explain(query_or_sql, placement=placement)
+
+
+def connect(config: Optional[DatabaseConfig] = None, *,
+            observability: bool = False) -> Session:
+    """Open a fresh simulated world and return a :class:`Session` on it.
+
+    ``observability=True`` attaches a :class:`repro.obs.Observability`
+    up front, so every subsequent execution records spans and metrics.
+    """
+    db = Database(config)
+    if observability:
+        db.enable_observability()
+    return Session(db)

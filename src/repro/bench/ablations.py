@@ -113,8 +113,8 @@ def ablation_io_unit(
     rows = []
     for unit_pages in unit_sizes:
         db = make_tpch_db(DeviceKind.SMART, Layout.PAX, run_scale)
-        report = db.execute(q6_query(), placement="smart",
-                            io_unit_pages=unit_pages)
+        report = db.execute_placed(q6_query(), "smart",
+                                   io_unit_pages=unit_pages)
         from repro.bench.extrapolate import extrapolate_run
         estimate = extrapolate_run(db, q6_query(), report,
                                    paper.TPCH_SCALE_FACTOR / run_scale)
@@ -316,11 +316,11 @@ def ext_caching_benefit(
     query = q6_query()
 
     smart_db = make_tpch_db(DeviceKind.SMART, Layout.PAX, run_scale)
-    smart_times = [smart_db.execute(query, "smart").elapsed_seconds
+    smart_times = [smart_db.execute_placed(query, "smart").elapsed_seconds
                    for __ in range(repeats)]
 
     host_db = make_tpch_db(DeviceKind.SMART, Layout.PAX, run_scale)
-    host_times = [host_db.execute(query, "host").elapsed_seconds
+    host_times = [host_db.execute_placed(query, "host").elapsed_seconds
                   for __ in range(repeats)]
 
     rows = []

@@ -6,9 +6,13 @@ Usage::
     python -m repro run fig3 table3      # run selected experiments
     python -m repro run all              # run everything
     python -m repro run fig5 -o results  # also persist tables to a directory
+    python -m repro trace fig3_q6        # one traced run -> chrome-trace JSON
 
 Experiments run the functional simulation at reduced scale and print
 paper-vs-measured tables (see EXPERIMENTS.md for interpretation).
+``trace`` runs a single execution with observability enabled and writes a
+Perfetto-loadable chrome-trace file plus a terminal flame summary (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -92,7 +96,91 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit JSON instead of tables (and .json files "
                           "with --output-dir)")
+
+    trace = sub.add_parser(
+        "trace", help="run one traced execution and export chrome-trace JSON")
+    trace.add_argument("target", choices=sorted(TRACEABLE),
+                       help="which run to trace")
+    trace.add_argument("-o", "--output", type=Path, default=None,
+                       help="chrome-trace output path "
+                            "(default: trace-<target>.json)")
+    trace.add_argument("--jsonl", type=Path, default=None,
+                       help="also write the run as a JSONL event stream")
     return parser
+
+
+def _trace_fig3_q6():
+    """The fig3 Q6 pushdown leg (smart-ssd, PAX) at run scale."""
+    from repro.bench.runners import DeviceKind, make_tpch_db
+    from repro.engine.plans import Placement
+    from repro.storage import Layout
+    from repro.workloads import q6_query
+    db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
+    return db, q6_query(), Placement.SMART
+
+
+def _trace_fig3_q6_host():
+    """The fig3 Q6 conventional leg (sas-ssd, NSM) at run scale."""
+    from repro.bench.runners import DeviceKind, make_tpch_db
+    from repro.engine.plans import Placement
+    from repro.storage import Layout
+    from repro.workloads import q6_query
+    db = make_tpch_db(DeviceKind.SSD, Layout.NSM)
+    return db, q6_query(), Placement.HOST
+
+
+def _trace_fig7_q14():
+    """The fig7 Q14 pushdown join leg (smart-ssd, PAX) at run scale."""
+    from repro.bench.runners import DeviceKind, make_tpch_db
+    from repro.engine.plans import Placement
+    from repro.storage import Layout
+    from repro.workloads import q14_query
+    db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
+    return db, q14_query(), Placement.SMART
+
+
+#: Traceable runs: name -> builder returning (db, query, placement).
+TRACEABLE: dict[str, Callable] = {
+    "fig3_q6": _trace_fig3_q6,
+    "fig3_q6_host": _trace_fig3_q6_host,
+    "fig7_q14": _trace_fig7_q14,
+}
+
+
+def cmd_trace(target: str, output: Path | None, jsonl: Path | None,
+              out=sys.stdout) -> int:
+    """Run one traced execution; write chrome-trace JSON + flame summary."""
+    import json
+
+    from repro.obs import chrome_trace, flame_summary, jsonl_events
+
+    db, query, placement = TRACEABLE[target]()
+    obs = db.enable_observability()
+    report = db.execute_placed(query, placement)
+
+    if output is None:
+        output = Path(f"trace-{target}.json")
+    output.write_text(json.dumps(chrome_trace(obs)) + "\n")
+    if jsonl is not None:
+        jsonl.write_text("\n".join(jsonl_events(obs)) + "\n")
+
+    print(f"{target}: {report.placement} execution of {query.name} in "
+          f"{report.elapsed_seconds * 1e3:.3f} ms (virtual), "
+          f"{report.row_count} rows", file=out)
+    print(flame_summary(obs), file=out)
+    # The protocol spans tile the run: their summed virtual durations must
+    # reconcile with the report's elapsed time (the remainder is host-side
+    # merge work and retry backoff between round-trips).
+    session_names = (("smart.open", "smart.get", "smart.close")
+                     if report.placement == "smart"
+                     else ("host.build", "host.scan"))
+    covered = sum(span.duration for name in session_names
+                  for span in obs.spans_named(name))
+    print(f"protocol spans cover {covered * 1e3:.3f} ms of "
+          f"{report.elapsed_seconds * 1e3:.3f} ms elapsed "
+          f"({covered / report.elapsed_seconds:.1%})", file=out)
+    print(f"chrome trace written to {output}", file=out)
+    return 0
 
 
 def cmd_list(out=sys.stdout) -> int:
@@ -144,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "trace":
+        return cmd_trace(args.target, args.output, args.jsonl)
     return cmd_run(args.names, args.output_dir, args.json)
 
 

@@ -31,7 +31,7 @@ from repro.engine.kernels import (
     PagePartial,
     build_hash_table,
 )
-from repro.engine.plans import AggSpec, JoinSpec, Query
+from repro.engine.plans import AggSpec, JoinSpec, Placement, Query
 from repro.engine.reference import run_reference
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "Or",
     "PageKernel",
     "PagePartial",
+    "Placement",
     "Query",
     "Sub",
     "and_all",

@@ -9,11 +9,44 @@ synthetic selection-with-join query are all instances.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import PlanError
 from repro.engine.expressions import Expr
+
+
+class Placement(enum.Enum):
+    """Where a query runs: on the host CPUs or pushed down to the device.
+
+    ``AUTO`` defers to the cost-based optimizer
+    (:func:`repro.host.optimizer.choose_placement`). This enum replaces the
+    stringly-typed ``placement="host"|"smart"|"auto"`` arguments; the old
+    strings still round-trip through :meth:`coerce` for the deprecated
+    ``Database.execute`` shim.
+    """
+
+    HOST = "host"
+    SMART = "smart"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(cls, value: Union["Placement", str]) -> "Placement":
+        """Accept a :class:`Placement` or one of the legacy strings."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value)
+            except ValueError:
+                pass
+        raise PlanError(
+            f"unknown placement {value!r} "
+            f"(expected {', '.join(repr(p.value) for p in cls)})")
+
+    def __str__(self) -> str:
+        return self.value
 
 
 @dataclass(frozen=True)

@@ -69,17 +69,32 @@ class FlashController:
         shared DRAM bus in one serialized transfer. Returns the page bytes
         in ``lpns`` order.
         """
+        obs = self.sim.obs
         by_channel: dict[int, int] = defaultdict(int)
         ppns = []
-        for lpn in lpns:
-            ppn = self.ftl.lookup(lpn)
-            ppns.append(ppn)
-            by_channel[self.geometry.channel_of(ppn)] += 1
+        if obs is None:
+            for lpn in lpns:
+                ppn = self.ftl.lookup(lpn)
+                ppns.append(ppn)
+                by_channel[self.geometry.channel_of(ppn)] += 1
+        else:
+            with obs.span("ftl.lookup", track="ftl", pages=len(lpns)):
+                for lpn in lpns:
+                    ppn = self.ftl.lookup(lpn)
+                    ppns.append(ppn)
+                    by_channel[self.geometry.channel_of(ppn)] += 1
+            obs.metrics.counter("ftl.lookups").inc(len(lpns))
+            for channel, count in by_channel.items():
+                obs.metrics.counter("nand.read.pages",
+                                    channel=channel).inc(count)
 
         occupancy = self.timing.channel_occupancy_per_read(self.geometry)
         channel_jobs = [
             self.sim.process(
-                seize(self.channels[channel], count * occupancy),
+                seize(self.channels[channel], count * occupancy,
+                      None if obs is None else obs.span(
+                          "nand.read", track=self.channels[channel].name,
+                          pages=count)),
                 name=f"chan{channel}-read")
             for channel, count in by_channel.items()
         ]
@@ -87,7 +102,13 @@ class FlashController:
         yield from self._ecc_retry_rounds(ppns, occupancy)
 
         total = len(lpns) * self.geometry.page_nbytes
-        yield from self.dram_bus.transfer(total)
+        if obs is None:
+            yield from self.dram_bus.transfer(total)
+        else:
+            obs.metrics.counter("dram.bus.bytes", direction="read").inc(total)
+            yield from self.dram_bus.transfer(
+                total, obs.span("dram.dma", track=self.dram_bus.name,
+                                bytes=total))
 
         pages = [self.nand.read(ppn) for ppn in ppns]
         if self.verify_ecc:
@@ -99,8 +120,15 @@ class FlashController:
     def write_lpns(self, lpns: Sequence[int],
                    pages: Sequence[bytes]) -> Generator[Event, None, None]:
         """Timed write of logical pages (DRAM -> channels -> NAND)."""
+        obs = self.sim.obs
         total = len(lpns) * self.geometry.page_nbytes
-        yield from self.dram_bus.transfer(total)
+        if obs is None:
+            yield from self.dram_bus.transfer(total)
+        else:
+            obs.metrics.counter("dram.bus.bytes", direction="write").inc(total)
+            yield from self.dram_bus.transfer(
+                total, obs.span("dram.dma", track=self.dram_bus.name,
+                                bytes=total))
 
         # Program out-of-place first so we know which channels are hit.
         by_channel: dict[int, int] = defaultdict(int)
@@ -111,11 +139,18 @@ class FlashController:
         occupancy = self.timing.channel_occupancy_per_program(self.geometry)
         channel_jobs = [
             self.sim.process(
-                seize(self.channels[channel], count * occupancy),
+                seize(self.channels[channel], count * occupancy,
+                      None if obs is None else obs.span(
+                          "nand.program", track=self.channels[channel].name,
+                          pages=count)),
                 name=f"chan{channel}-write")
             for channel, count in by_channel.items()
         ]
         yield self.sim.all_of(channel_jobs)
+        if obs is not None:
+            for channel, count in by_channel.items():
+                obs.metrics.counter("nand.program.pages",
+                                    channel=channel).inc(count)
 
     def _ecc_retry_rounds(self, ppns: Sequence[int],
                           occupancy: float) -> Generator[Event, None, None]:
@@ -136,6 +171,9 @@ class FlashController:
                 continue
             rounds = int(decision.payload.get("retries", 1))
             self.ecc_retries += rounds
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.counter("nand.ecc.retries").inc(rounds)
             if self.sim.tracer is not None:
                 self.sim.tracer.mark(self.sim.now, "ecc-retry",
                                      f"ppn={ppn} rounds={rounds}")
@@ -145,7 +183,11 @@ class FlashController:
                     f"page {ppn} unreadable after "
                     f"{self.ecc_retry_limit} ECC retries")
             channel = self.geometry.channel_of(ppn)
-            yield from seize(self.channels[channel], rounds * occupancy)
+            yield from seize(
+                self.channels[channel], rounds * occupancy,
+                None if obs is None else obs.span(
+                    "nand.ecc-retry", track=self.channels[channel].name,
+                    ppn=ppn, rounds=rounds))
 
     # -- instantaneous helpers ------------------------------------------------
 

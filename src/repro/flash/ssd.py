@@ -183,18 +183,31 @@ class Ssd:
         """Conventional path: flash -> device DRAM -> host interface."""
         yield from self._check_alive("read")
         pages = yield from self.controller.read_lpns(lpns)
-        yield from self.interface.transfer(len(lpns) * self.page_nbytes)
+        nbytes = len(lpns) * self.page_nbytes
+        yield from self.interface.transfer(
+            nbytes, self._interface_span("interface.read", nbytes))
         return pages
 
     def host_write(self, lpns: Sequence[int],
                    pages: Sequence[bytes]) -> Generator[Event, None, None]:
         """Timed host write: interface -> device DRAM -> flash."""
-        yield from self.interface.transfer(len(lpns) * self.page_nbytes)
+        nbytes = len(lpns) * self.page_nbytes
+        yield from self.interface.transfer(
+            nbytes, self._interface_span("interface.write", nbytes))
         yield from self.controller.write_lpns(lpns, pages)
 
     def transfer_to_host(self, nbytes: int) -> Generator[Event, None, None]:
         """Move result bytes (not pages) to the host — the GET reply path."""
-        yield from self.interface.transfer(nbytes)
+        yield from self.interface.transfer(
+            nbytes, self._interface_span("interface.reply", nbytes))
+
+    def _interface_span(self, name: str, nbytes: int):
+        """Hold-span for an interface crossing, or None when obs is off."""
+        obs = self.sim.obs
+        if obs is None:
+            return None
+        obs.metrics.counter("interface.bytes", device=self.spec.name).inc(nbytes)
+        return obs.span(name, track=self.interface.name, bytes=nbytes)
 
     # -- untimed access ---------------------------------------------------------
 

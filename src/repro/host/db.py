@@ -1,27 +1,35 @@
 """The `Database` facade: devices, tables, and query execution.
 
-The top-level user API. A :class:`Database` owns one simulated world —
-host machine, buffer pool, catalog, and storage devices — and executes
-queries with a chosen placement:
+A :class:`Database` owns one simulated world — host machine, buffer pool,
+catalog, and storage devices — and executes queries with a chosen
+:class:`~repro.engine.plans.Placement`:
 
-* ``placement="host"`` — conventional execution (pages to the host);
-* ``placement="smart"`` — pushdown through OPEN/GET/CLOSE;
-* ``placement="auto"`` — the §4.3-style cost-based optimizer decides.
+* ``Placement.HOST`` — conventional execution (pages to the host);
+* ``Placement.SMART`` — pushdown through OPEN/GET/CLOSE;
+* ``Placement.AUTO`` — the §4.3-style cost-based optimizer decides.
+
+:meth:`Database.execute_placed` is the canonical entry point; the
+string-typed :meth:`Database.execute`/:meth:`Database.sql` remain as
+deprecated shims. New code should go through the top-level facade,
+``repro.connect() -> Session``.
 
 Every execution returns an :class:`~repro.model.report.ExecutionReport`
 with the result rows, virtual elapsed time, work counters, I/O stats, and
-the Table-3 energy decomposition.
+the Table-3 energy decomposition — plus, when observability is enabled
+(:meth:`Database.enable_observability`), a ``profile`` block of span and
+metric aggregates.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import CatalogError, PlanError
-from repro.engine.plans import Query
+from repro.engine.plans import Placement, Query
 from repro.faults import FaultPlan, HealthRegistry
 from repro.flash.hdd import Hdd, HddSpec
 from repro.flash.ssd import Ssd, SsdSpec
@@ -34,6 +42,7 @@ from repro.host.executor import (
 )
 from repro.host.machine import HostMachine, HostSpec
 from repro.model.costs import DEFAULT_COSTS, CycleCosts
+from repro.model.counters import counter_field_names
 from repro.model.energy import DeviceActivity, EnergyMeter
 from repro.model.report import ExecutionReport, IoStats
 from repro.sim import Simulator
@@ -124,21 +133,46 @@ class Database:
         return self.catalog.create_table(name, schema, layout, rows,
                                          self.device(device_name))
 
+    # -- observability -----------------------------------------------------------------
+
+    def enable_observability(self, obs: Optional[Any] = None):
+        """Attach an observability layer (spans + metrics) to this world.
+
+        Returns the attached :class:`repro.obs.Observability`. With none
+        attached (the default) every instrumentation site is skipped by a
+        single ``is None`` test, so disabled runs are bit-identical to the
+        uninstrumented seed.
+        """
+        from repro.obs import Observability
+        if obs is None:
+            obs = Observability()
+        return obs.attach(self.sim)
+
+    @property
+    def obs(self):
+        """The attached :class:`repro.obs.Observability`, or None."""
+        return self.sim.obs
+
     # -- execution --------------------------------------------------------------------
 
-    def execute(self, query: Query, placement: str = "host",
-                io_unit_pages: Optional[int] = None,
-                window: Optional[int] = None) -> ExecutionReport:
-        """Run a query to completion and account for it.
+    def execute_placed(self, query: Query,
+                       placement: Union[Placement, str] = Placement.HOST,
+                       io_unit_pages: Optional[int] = None,
+                       window: Optional[int] = None) -> ExecutionReport:
+        """Run a query to completion and account for it (canonical API).
 
-        ``placement`` is ``"host"``, ``"smart"``, or ``"auto"`` (cost-based
-        choice per §4.3).
+        ``placement`` is a :class:`~repro.engine.plans.Placement`;
+        ``Placement.AUTO`` asks the cost-based optimizer (§4.3). Legacy
+        strings are still coerced for the deprecated shims.
         """
-        if placement == "auto":
+        placement = Placement.coerce(placement)
+        if placement is Placement.AUTO:
             from repro.host.optimizer import choose_placement
-            placement = choose_placement(self, query).placement
+            placement = Placement.coerce(
+                choose_placement(self, query).placement)
 
         table = self.catalog.table(query.table)
+        obs = self.sim.obs
         start = self.sim.now
         snapshots = {name: self._busy_snapshot(device)
                      for name, device in self._devices.items()}
@@ -146,19 +180,29 @@ class Database:
         bp_hits_before = self.buffer_pool.hits
         bp_misses_before = self.buffer_pool.misses
 
-        kwargs = {}
+        track = f"query:{query.name}"
+        kwargs: dict[str, Any] = {"track": track}
         if io_unit_pages is not None:
             kwargs["io_unit_pages"] = io_unit_pages
         if window is not None:
             kwargs["window"] = window
-        if placement == "host":
+        if placement is Placement.HOST:
             process = host_query_process(self, query, **kwargs)
-        elif placement == "smart":
-            process = smart_query_process(self, query, **kwargs)
         else:
-            raise PlanError(f"unknown placement {placement!r}")
+            process = smart_query_process(self, query, **kwargs)
+        spans_before = 0
+        root_span = None
+        if obs is not None:
+            spans_before = len(obs.spans)
+            root_span = obs.span("query", track=track, query=query.name,
+                                 placement=placement.value,
+                                 table=table.name).__enter__()
         proc = self.sim.process(process, name=f"query-{query.name}")
-        self.sim.run()
+        try:
+            self.sim.run()
+        finally:
+            if root_span is not None:
+                root_span.finish()
         if not proc.triggered:
             raise PlanError(f"query {query.name!r} deadlocked")
         outcome: QueryOutcome = proc.value
@@ -187,10 +231,10 @@ class Database:
         device_cpu = 0.0
         if isinstance(device, SmartSsd):
             device_cpu = device.cpu_core_seconds() - snap["cpu_busy"]
-        return ExecutionReport(
+        report = ExecutionReport(
             rows=outcome.rows,
             elapsed_seconds=elapsed,
-            placement=placement,
+            placement=placement.value,
             device_name=table.device_name,
             layout=table.layout.value,
             counters=outcome.counters,
@@ -201,25 +245,53 @@ class Database:
             utilization=self._utilization(device, snap, elapsed,
                                           host_cpu_core_seconds),
         )
+        if obs is not None:
+            self._absorb_metrics(obs, query, placement, report)
+            report.profile = obs.profile(spans_before)
+        return report
+
+    def execute(self, query: Query, placement: str = "host",
+                io_unit_pages: Optional[int] = None,
+                window: Optional[int] = None) -> ExecutionReport:
+        """Deprecated string-typed shim; use :meth:`execute_placed`.
+
+        Kept so existing callers (and the seed tests) run unchanged, at
+        the cost of a :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            "Database.execute(placement=str) is deprecated; use "
+            "Database.execute_placed(query, Placement...) or the "
+            "repro.connect() -> Session facade",
+            DeprecationWarning, stacklevel=2)
+        return self.execute_placed(query, placement,
+                                   io_unit_pages=io_unit_pages,
+                                   window=window)
 
     def sql(self, statement: str, placement: str = "host",
             **kwargs) -> ExecutionReport:
-        """Parse, bind, and execute a SQL SELECT statement.
+        """Deprecated SQL shim; use ``Session.execute(sql_string)``.
 
-        Supports the paper's dialect — see :mod:`repro.sql`. Extra keyword
-        arguments are forwarded to :meth:`execute`.
+        Parses, binds, and executes a SQL SELECT statement in the paper's
+        dialect (see :mod:`repro.sql`). Extra keyword arguments are
+        forwarded to :meth:`execute_placed`.
         """
+        warnings.warn(
+            "Database.sql() is deprecated; use repro.connect() -> "
+            "Session.execute(sql_string)",
+            DeprecationWarning, stacklevel=2)
         from repro.sql import compile_sql
         query = compile_sql(statement, self.catalog)
-        return self.execute(query, placement=placement, **kwargs)
+        return self.execute_placed(query, placement, **kwargs)
 
-    def explain(self, query_or_sql, placement: str = "smart") -> str:
+    def explain(self, query_or_sql,
+                placement: Union[Placement, str] = Placement.SMART) -> str:
         """Render the physical plan (Figures 4/6 style) for a query or SQL."""
         from repro.host.planner import explain as render
         if isinstance(query_or_sql, str):
             from repro.sql import compile_sql
             query_or_sql = compile_sql(query_or_sql, self.catalog)
-        return render(self, query_or_sql, placement=placement)
+        return render(self, query_or_sql,
+                      placement=Placement.coerce(placement).value)
 
     def update_rows(self, table_name: str, predicate,
                     assignments) -> int:
@@ -251,8 +323,9 @@ class Database:
             raise PlanError(f"flush of {table_name!r} deadlocked")
         return proc.value
 
-    def execute_concurrent(self, runs: Sequence[tuple[Query, str]]
-                           ) -> list[ExecutionReport]:
+    def execute_concurrent(
+            self, runs: Sequence[tuple[Query, Union[Placement, str]]]
+            ) -> list[ExecutionReport]:
         """Run several queries concurrently in one simulated window.
 
         Models the paper's §4.3 concern about "the impact of concurrent
@@ -261,7 +334,14 @@ class Database:
         order; each report's elapsed time is that query's own completion
         time, and the energy block (attached to every report identically)
         covers the whole window.
+
+        With observability enabled, run *i* gets its own span track
+        (``query:<name>#<i>``) so concurrent executions never share a
+        lane, and every report carries the whole window's profile.
         """
+        placements = [Placement.coerce(placement) for __, placement in runs]
+        obs = self.sim.obs
+        spans_before = len(obs.spans) if obs is not None else 0
         start = self.sim.now
         snapshots = {name: self._busy_snapshot(device)
                      for name, device in self._devices.items()}
@@ -270,19 +350,29 @@ class Database:
         completions: list[Optional[float]] = [None] * len(runs)
         outcomes: list[Optional[QueryOutcome]] = [None] * len(runs)
 
-        def wrapper(index: int, query: Query, placement: str):
-            if placement == "host":
-                outcome = yield from host_query_process(self, query)
-            elif placement == "smart":
-                outcome = yield from smart_query_process(self, query)
-            else:
-                raise PlanError(f"unknown placement {placement!r}")
+        def wrapper(index: int, query: Query, placement: Placement):
+            track = f"query:{query.name}#{index}"
+            root_span = None
+            if obs is not None:
+                root_span = obs.span(
+                    "query", track=track, query=query.name,
+                    placement=placement.value, index=index).__enter__()
+            try:
+                if placement is Placement.HOST:
+                    outcome = yield from host_query_process(self, query,
+                                                            track=track)
+                else:
+                    outcome = yield from smart_query_process(self, query,
+                                                             track=track)
+            finally:
+                if root_span is not None:
+                    root_span.finish()
             completions[index] = self.sim.now
             outcomes[index] = outcome
 
-        procs = [self.sim.process(wrapper(i, query, placement),
+        procs = [self.sim.process(wrapper(i, query, placements[i]),
                                   name=f"concurrent-{i}")
-                 for i, (query, placement) in enumerate(runs)]
+                 for i, (query, __) in enumerate(runs)]
         gate = self.sim.all_of(procs)
         self.sim.run()
         if not gate.triggered:
@@ -294,21 +384,53 @@ class Database:
                       for name, device in self._devices.items()]
         energy = self.energy_meter.measure(window, host_cpu, activities)
 
+        profile = obs.profile(spans_before) if obs is not None else None
         reports = []
-        for (query, placement), outcome, done_at in zip(runs, outcomes,
-                                                        completions):
+        for (query, __), placement, outcome, done_at in zip(
+                runs, placements, outcomes, completions):
             table = self.catalog.table(query.table)
-            reports.append(ExecutionReport(
+            report = ExecutionReport(
                 rows=outcome.rows,
                 elapsed_seconds=done_at - start,
-                placement=placement,
+                placement=placement.value,
                 device_name=table.device_name,
                 layout=table.layout.value,
                 counters=outcome.counters,
                 energy=energy,
                 host_cpu_core_seconds=host_cpu,
-            ))
+                profile=profile,
+            )
+            if obs is not None:
+                self._absorb_metrics(obs, query, placement, report)
+            reports.append(report)
         return reports
+
+    def _absorb_metrics(self, obs, query: Query, placement: Placement,
+                        report: ExecutionReport) -> None:
+        """Fold one report's counters/io/energy into named metric series."""
+        labels = {"query": query.name, "placement": placement.value}
+        metrics = obs.metrics
+        metrics.histogram("query.elapsed_seconds",
+                          **labels).observe(report.elapsed_seconds)
+        for field_name in counter_field_names():
+            value = getattr(report.counters, field_name)
+            if value:
+                metrics.counter(f"work.{field_name}", **labels).inc(value)
+        if report.io is not None:
+            for field_name in ("pages_read_device", "bytes_over_interface",
+                               "bytes_over_dram_bus", "buffer_pool_hits",
+                               "buffer_pool_misses"):
+                value = getattr(report.io, field_name)
+                if value:
+                    metrics.counter(f"io.{field_name}", **labels).inc(value)
+        if report.energy is not None:
+            metrics.counter("energy.entire_system_j",
+                            **labels).inc(report.energy.entire_system_j)
+            metrics.counter("energy.io_subsystem_j",
+                            **labels).inc(report.energy.io_subsystem_j)
+        for resource, value in (report.utilization or {}).items():
+            metrics.gauge("utilization", resource=resource,
+                          **labels).set(value)
 
     # -- accounting helpers ------------------------------------------------------------
 

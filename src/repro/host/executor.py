@@ -32,6 +32,7 @@ from repro.errors import (
 from repro.faults import DEFAULT_RETRY_POLICY, RetryPolicy, is_transient_error
 from repro.host.catalog import Table
 from repro.model.counters import WorkCounters
+from repro.obs import NULL_SPAN
 from repro.sim import Event, Resource
 from repro.smart.device import SmartSsd
 from repro.smart.programs import IO_UNIT_PAGES, PIPELINE_WINDOW
@@ -116,12 +117,20 @@ def _finalize_aggregates(query: Query, state: AggState) -> list[dict[str, Any]]:
 def host_query_process(db: "Database", query: Query,
                        io_unit_pages: int = IO_UNIT_PAGES,
                        window: int = PIPELINE_WINDOW,
+                       track: Optional[str] = None,
                        ) -> Generator[Event, None, QueryOutcome]:
-    """Run ``query`` conventionally: pages to the host, kernels on the host."""
+    """Run ``query`` conventionally: pages to the host, kernels on the host.
+
+    ``track`` names the observability lane the phase spans land on; each
+    concurrent execution needs its own so spans nest instead of overlapping.
+    """
     table = db.catalog.table(query.table)
     device = db.device(table.device_name)
     outcome = QueryOutcome(rows=None)
     ecc_before = _ecc_retries(device)
+    obs = db.sim.obs
+    if track is None:
+        track = f"query:{query.name}"
 
     hash_table = None
     large_table = False
@@ -131,15 +140,17 @@ def host_query_process(db: "Database", query: Query,
         large_table = estimate > db.costs.host_cache_nbytes
         collector = BuildCollector(build_table.schema, query.join)
         build_device = db.device(build_table.device_name)
-        for lpns in unit_lpn_runs(build_table.heap, io_unit_pages):
-            pages = yield from _fetch_unit(db, build_device,
-                                           build_table, lpns, outcome)
-            counters = WorkCounters()
-            counters.io_units += 1
-            collector.consume(pages, counters, build_table.layout)
-            yield from db.machine.compute(
-                db.costs.cycles(counters, large_hash_table=large_table))
-            outcome.counters.add(counters)
+        with NULL_SPAN if obs is None else obs.span(
+                "host.build", track=track, table=build_table.name):
+            for lpns in unit_lpn_runs(build_table.heap, io_unit_pages):
+                pages = yield from _fetch_unit(db, build_device,
+                                               build_table, lpns, outcome)
+                counters = WorkCounters()
+                counters.io_units += 1
+                collector.consume(pages, counters, build_table.layout)
+                yield from db.machine.compute(
+                    db.costs.cycles(counters, large_hash_table=large_table))
+                outcome.counters.add(counters)
         hash_table = collector.finish()
 
     kernel = PageKernel(query, table.schema, table.layout,
@@ -173,10 +184,13 @@ def host_query_process(db: "Database", query: Query,
         finally:
             window_gate.release()
 
-    processes = [db.sim.process(unit_process(i, lpns),
-                                name=f"host-scan-unit-{i}")
-                 for i, lpns in enumerate(unit_runs)]
-    yield db.sim.all_of(processes)
+    with NULL_SPAN if obs is None else obs.span(
+            "host.scan", track=track, table=table.name,
+            units=len(unit_runs)):
+        processes = [db.sim.process(unit_process(i, lpns),
+                                    name=f"host-scan-unit-{i}")
+                     for i, lpns in enumerate(unit_runs)]
+        yield db.sim.all_of(processes)
 
     if select_mode:
         flat = [chunk for slot in chunk_slots for chunk in (slot or [])]
@@ -228,6 +242,7 @@ def smart_query_process(db: "Database", query: Query,
                         io_unit_pages: int = IO_UNIT_PAGES,
                         window: int = PIPELINE_WINDOW,
                         retry_policy: Optional[RetryPolicy] = None,
+                        track: Optional[str] = None,
                         ) -> Generator[Event, None, QueryOutcome]:
     """Run ``query`` inside the Smart SSD via OPEN/GET/CLOSE.
 
@@ -241,6 +256,9 @@ def smart_query_process(db: "Database", query: Query,
     """
     table = db.catalog.table(query.table)
     device = db.device(table.device_name)
+    obs = db.sim.obs
+    if track is None:
+        track = f"query:{query.name}"
     if not isinstance(device, SmartSsd):
         raise PlanError(
             f"device {table.device_name!r} is not a Smart SSD; "
@@ -273,8 +291,12 @@ def smart_query_process(db: "Database", query: Query,
     while True:
         attempt += 1
         try:
-            outcome = yield from _pushdown_attempt(
-                db, device, query, table, program, arguments, policy, fault)
+            with NULL_SPAN if obs is None else obs.span(
+                    "smart.session", track=track, device=table.device_name,
+                    attempt=attempt):
+                outcome = yield from _pushdown_attempt(
+                    db, device, query, table, program, arguments, policy,
+                    fault, track)
         except (ProgramCrashError, DeviceTimeoutError) as exc:
             db.health.record_failure(table.device_name)
             if attempt < policy.max_session_attempts:
@@ -295,7 +317,8 @@ def smart_query_process(db: "Database", query: Query,
             # host path accounts for its own reads.
             fault.ecc_retries += _ecc_retries(device) - ecc_before
             outcome = yield from host_query_process(db, query,
-                                                    io_unit_pages, window)
+                                                    io_unit_pages, window,
+                                                    track=track)
         else:
             db.health.record_success(table.device_name)
             fault.ecc_retries += _ecc_retries(device) - ecc_before
@@ -306,18 +329,29 @@ def smart_query_process(db: "Database", query: Query,
 def _pushdown_attempt(db: "Database", device: SmartSsd, query: Query,
                       table: Table, program: str, arguments: dict[str, Any],
                       policy: RetryPolicy, fault: WorkCounters,
+                      track: str,
                       ) -> Generator[Event, None, QueryOutcome]:
     """One OPEN/GET/CLOSE session, with in-session GET retries."""
+    obs = db.sim.obs
     outcome = QueryOutcome(rows=None)
-    session_id = yield from device.open_session(
-        OpenParams(program=program, arguments=arguments))
+    open_span = NULL_SPAN if obs is None else obs.span(
+        "smart.open", track=track, device=table.device_name, program=program)
+    with open_span:
+        session_id = yield from device.open_session(
+            OpenParams(program=program, arguments=arguments))
+        open_span.set(session=session_id)
 
     payload: list[Any] = []
     ack = 0
     get_failures = 0
     while True:
         try:
-            response = yield from device.get(session_id, ack=ack)
+            get_span = NULL_SPAN if obs is None else obs.span(
+                "smart.get", track=track, session=session_id, ack=ack)
+            with get_span:
+                response = yield from device.get(session_id, ack=ack)
+                get_span.set(seq=response.seq,
+                             bytes=response.payload_nbytes)
         except DeviceTimeoutError:
             # The reply was lost in flight; re-poll with the stale ack so
             # the device retransmits it (GET is idempotent under retry).
@@ -347,7 +381,9 @@ def _pushdown_attempt(db: "Database", device: SmartSsd, query: Query,
     # Session counters describe work done *inside* the device; grab them
     # before CLOSE tears the session down.
     outcome.counters = device.runtime.session(session_id).counters
-    yield from device.close_session(session_id)
+    with NULL_SPAN if obs is None else obs.span(
+            "smart.close", track=track, session=session_id):
+        yield from device.close_session(session_id)
 
     if query.select:
         payload.sort(key=lambda item: item[0])

@@ -65,3 +65,9 @@ class WorkCounters:
 #: Field names resolved once at import: ``add`` runs per page per kernel, and
 #: re-reflecting over ``dataclasses.fields`` there dominates its cost.
 _FIELD_NAMES = tuple(f.name for f in fields(WorkCounters))
+
+
+def counter_field_names() -> tuple[str, ...]:
+    """The counter field names, in declaration order (stable API for
+    metric absorption and report serialization)."""
+    return _FIELD_NAMES

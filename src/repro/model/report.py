@@ -1,15 +1,27 @@
-"""Execution reports: what a query run cost and why."""
+"""Execution reports: what a query run cost and why.
+
+:class:`ExecutionReport` serializes to a versioned, documented JSON schema
+(:meth:`ExecutionReport.to_json` / :meth:`ExecutionReport.from_json`); the
+schema contract lives in ``docs/OBSERVABILITY.md`` and is exercised by
+``tests/test_api_session.py``. Bump :data:`REPORT_SCHEMA_VERSION` on any
+incompatible change.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
-from repro.model.counters import WorkCounters
+from repro.errors import PlanError
+from repro.model.counters import WorkCounters, counter_field_names
 from repro.model.energy import SystemEnergy
 from repro.units import fmt_seconds
+
+#: Version stamp of the ExecutionReport JSON schema.
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -39,11 +51,86 @@ class ExecutionReport:
     device_cpu_core_seconds: float = 0.0
     utilization: dict[str, float] = field(default_factory=dict)
     plan_text: str = ""
+    #: Observability aggregate (span totals + metrics snapshot) when the
+    #: run had observability enabled; None otherwise.
+    profile: Optional[dict[str, Any]] = None
 
     @property
     def row_count(self) -> int:
         """Number of result rows."""
         return len(self.rows)
+
+    # -- stable serialization ------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the versioned report JSON schema (v1).
+
+        Structured row arrays round-trip exactly (dtype descr + columns,
+        datetimes as ISO day strings, fixed-width bytes as latin-1);
+        aggregate row dicts are stored as plain records. See
+        ``docs/OBSERVABILITY.md`` for the documented schema.
+        """
+        payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "rows": _encode_rows(self.rows),
+            "elapsed_seconds": self.elapsed_seconds,
+            "placement": self.placement,
+            "device_name": self.device_name,
+            "layout": self.layout,
+            "counters": {name: getattr(self.counters, name)
+                         for name in counter_field_names()},
+            "io": None if self.io is None else {
+                "pages_read_device": self.io.pages_read_device,
+                "bytes_over_interface": self.io.bytes_over_interface,
+                "bytes_over_dram_bus": self.io.bytes_over_dram_bus,
+                "buffer_pool_hits": self.io.buffer_pool_hits,
+                "buffer_pool_misses": self.io.buffer_pool_misses,
+            },
+            "energy": None if self.energy is None else {
+                "elapsed_seconds": self.energy.elapsed_seconds,
+                "entire_system_j": self.energy.entire_system_j,
+                "io_subsystem_j": self.energy.io_subsystem_j,
+                "host_cpu_j": self.energy.host_cpu_j,
+                "device_j": dict(self.energy.device_j),
+            },
+            "host_cpu_core_seconds": self.host_cpu_core_seconds,
+            "device_cpu_core_seconds": self.device_cpu_core_seconds,
+            "utilization": dict(self.utilization),
+            "plan_text": self.plan_text,
+            "profile": self.profile,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionReport":
+        """Rebuild a report from :meth:`to_json` output (schema v1)."""
+        payload = json.loads(text)
+        version = payload.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise PlanError(
+                f"unsupported report schema version {version!r} "
+                f"(this build reads version {REPORT_SCHEMA_VERSION})")
+        io = None
+        if payload["io"] is not None:
+            io = IoStats(**payload["io"])
+        energy = None
+        if payload["energy"] is not None:
+            energy = SystemEnergy(**payload["energy"])
+        return cls(
+            rows=_decode_rows(payload["rows"]),
+            elapsed_seconds=payload["elapsed_seconds"],
+            placement=payload["placement"],
+            device_name=payload["device_name"],
+            layout=payload["layout"],
+            counters=WorkCounters(**payload["counters"]),
+            io=io,
+            energy=energy,
+            host_cpu_core_seconds=payload["host_cpu_core_seconds"],
+            device_cpu_core_seconds=payload["device_cpu_core_seconds"],
+            utilization=payload["utilization"],
+            plan_text=payload["plan_text"],
+            profile=payload["profile"],
+        )
 
     def summary(self) -> str:
         """One-paragraph human-readable account of the run."""
@@ -67,3 +154,60 @@ class ExecutionReport:
                                  for name, value in busiest)
             lines.append(f"  utilization: {rendered}")
         return "\n".join(lines)
+
+
+# -- row (de)serialization ---------------------------------------------------
+
+def _plain(value: Any) -> Any:
+    """Collapse numpy scalars/values to plain JSON-able Python values."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    if isinstance(value, np.datetime64):
+        return str(value)
+    return value
+
+
+def _encode_rows(rows: Any) -> dict[str, Any]:
+    """Rows -> JSON: a structured array becomes a column table with its
+    dtype descr; aggregate dict-rows become plain records."""
+    if isinstance(rows, np.ndarray):
+        descr = [[name, fmt] for name, fmt in rows.dtype.descr]
+        columns = {}
+        for name, fmt in descr:
+            column = rows[name]
+            kind = np.dtype(fmt).kind
+            if kind == "M":
+                columns[name] = column.astype(str).tolist()
+            elif kind == "S":
+                columns[name] = [b.decode("latin-1")
+                                 for b in column.tolist()]
+            else:
+                columns[name] = column.tolist()
+        return {"kind": "table", "dtype": descr, "columns": columns,
+                "length": len(rows)}
+    records = []
+    for row in rows:
+        if isinstance(row, dict):
+            records.append({key: _plain(value) for key, value in row.items()})
+        else:
+            records.append([_plain(value) for value in row])
+    return {"kind": "records", "records": records}
+
+
+def _decode_rows(payload: dict[str, Any]) -> Any:
+    """Inverse of :func:`_encode_rows`."""
+    if payload["kind"] == "table":
+        descr = [(name, fmt) for name, fmt in payload["dtype"]]
+        out = np.empty(payload["length"], dtype=np.dtype(descr))
+        for name, fmt in descr:
+            values = payload["columns"][name]
+            if np.dtype(fmt).kind == "S":
+                values = [v.encode("latin-1") for v in values]
+            out[name] = np.array(values, dtype=fmt)
+        return out
+    if payload["kind"] == "records":
+        return [row if isinstance(row, dict) else tuple(row)
+                for row in payload["records"]]
+    raise PlanError(f"unknown rows kind {payload['kind']!r}")

@@ -1,0 +1,39 @@
+"""repro.obs — structured observability: spans, metrics, exporters.
+
+Quick start::
+
+    import repro
+    from repro.obs import chrome_trace, flame_summary
+
+    session = repro.connect(observability=True)
+    ...build tables...
+    report = session.execute(query, placement=repro.Placement.SMART)
+    print(flame_summary(session.obs))
+    json.dump(chrome_trace(session.obs), open("trace.json", "w"))
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names, and the
+overhead budget; disabled observability (the default) leaves every hot path
+untouched.
+"""
+
+from repro.obs.export import (chrome_trace, flame_summary, jsonl_events,
+                              validate_chrome_trace)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               series_key)
+from repro.obs.spans import NULL_SPAN, Observability, Span, SpanRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "SpanRecord",
+    "chrome_trace",
+    "flame_summary",
+    "jsonl_events",
+    "series_key",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,174 @@
+"""Exporters: chrome-trace JSON, JSONL event stream, terminal flame summary.
+
+The chrome-trace output follows the Trace Event Format that Perfetto and
+``chrome://tracing`` load: a ``{"traceEvents": [...]}`` object whose events
+use ``ph: "X"`` (complete span, with ``ts``/``dur`` in microseconds),
+``ph: "i"`` (instant), ``ph: "C"`` (counter sample), and ``ph: "M"``
+(metadata naming the process and each track). All timestamps are **virtual**
+simulation time scaled to microseconds; one pid represents the simulated
+machine and each span track (query, session, flash channel, DRAM bus...)
+gets its own tid, so Perfetto draws one lane per resource.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+_US = 1_000_000  # virtual seconds -> trace microseconds
+
+#: Phases validate_chrome_trace accepts — the subset this exporter emits.
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def _track_ids(obs) -> dict[str, int]:
+    """Stable track -> tid map: first-seen span order, then mark/counter lanes."""
+    ids: dict[str, int] = {}
+    for record in obs.spans:
+        if record.track not in ids:
+            ids[record.track] = len(ids) + 1
+    return ids
+
+
+def chrome_trace(obs, include_counters: bool = True) -> dict[str, Any]:
+    """Render an :class:`~repro.obs.Observability` to a chrome-trace dict."""
+    events: list[dict[str, Any]] = []
+    tracks = _track_ids(obs)
+    pid = 1
+
+    events.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                   "args": {"name": "repro-sim"}})
+    for track, tid in tracks.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+        events.append({"ph": "M", "name": "thread_sort_index", "pid": pid,
+                       "tid": tid, "args": {"sort_index": tid}})
+
+    for record in sorted(obs.spans, key=lambda r: (r.start, r.depth)):
+        args = dict(record.attrs)
+        args["wall_self_ms"] = round(record.wall_self_s * 1e3, 6)
+        events.append({
+            "ph": "X", "cat": "span", "name": record.name, "pid": pid,
+            "tid": tracks[record.track],
+            "ts": record.start * _US, "dur": record.duration * _US,
+            "args": args,
+        })
+
+    mark_tid = len(tracks) + 1
+    marks = obs.tracer.marks()
+    if marks:
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": mark_tid, "args": {"name": "events"}})
+    for mark in marks:
+        events.append({
+            "ph": "i", "cat": "event", "name": mark.label, "pid": pid,
+            "tid": mark_tid, "ts": mark.time * _US, "s": "t",
+            "args": {"detail": mark.detail},
+        })
+
+    if include_counters:
+        for resource in obs.tracer.resources():
+            for change in obs.tracer.events(resource):
+                events.append({
+                    "ph": "C", "cat": "resource", "name": resource,
+                    "pid": pid, "ts": change.time * _US,
+                    "args": {"in_use": change.level},
+                })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": "repro.obs"},
+    }
+
+
+def validate_chrome_trace(payload: Any) -> dict[str, int]:
+    """Structurally validate a chrome-trace payload; returns phase counts.
+
+    Checks the invariants the Trace Event Format requires of the phases we
+    emit (and that Perfetto's importer enforces): the envelope shape, the
+    per-phase mandatory fields, non-negative timestamps and durations.
+    Raises :class:`ValueError` on the first violation.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counts: dict[str, int] = {}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"{where}: missing integer pid")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: bad dur {dur!r}")
+            if not isinstance(event.get("tid"), int):
+                raise ValueError(f"{where}: X event without tid")
+        if phase == "i" and event.get("s") not in ("g", "p", "t"):
+            raise ValueError(f"{where}: instant scope must be g/p/t")
+        if phase == "M" and event["name"] not in (
+                "process_name", "process_labels", "process_sort_index",
+                "thread_name", "thread_sort_index"):
+            raise ValueError(f"{where}: unknown metadata {event['name']!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{where}: args must be an object")
+        counts[phase] = counts.get(phase, 0) + 1
+    return counts
+
+
+def jsonl_events(obs) -> Iterator[str]:
+    """The run as a line-per-event JSON stream (spans, marks, metrics)."""
+    for record in sorted(obs.spans, key=lambda r: (r.start, r.depth)):
+        yield json.dumps({
+            "type": "span", "name": record.name, "track": record.track,
+            "start_s": record.start, "end_s": record.end,
+            "depth": record.depth, "wall_self_s": record.wall_self_s,
+            "attrs": record.attrs,
+        }, default=str, sort_keys=True)
+    for mark in obs.tracer.marks():
+        yield json.dumps({
+            "type": "mark", "name": mark.label, "time_s": mark.time,
+            "detail": mark.detail,
+        }, sort_keys=True)
+    for key, value in obs.metrics.snapshot().items():
+        yield json.dumps({"type": "metric", "series": key, "value": value},
+                         sort_keys=True)
+
+
+def flame_summary(obs, width: int = 40) -> str:
+    """Terminal flamegraph-style rollup: per span name, both clocks.
+
+    Sorted by total virtual time descending, with a bar scaled to the
+    largest entry — the quickest answer to "where did the simulated run
+    spend its time, and where did the simulator spend mine".
+    """
+    profile = obs.profile()["spans"]
+    if not profile:
+        return "(no spans recorded)"
+    ranked = sorted(profile.items(),
+                    key=lambda item: (-item[1]["virtual_s"], item[0]))
+    top = ranked[0][1]["virtual_s"] or 1.0
+    name_w = max(len(name) for name, _ in ranked)
+    lines = [f"{'span':<{name_w}}  {'count':>6}  {'virtual':>10}  "
+             f"{'wall-self':>10}"]
+    for name, entry in ranked:
+        bar = "#" * max(1, round(width * entry["virtual_s"] / top)) \
+            if entry["virtual_s"] > 0 else ""
+        lines.append(
+            f"{name:<{name_w}}  {entry['count']:>6}  "
+            f"{entry['virtual_s'] * 1e3:>8.3f}ms  "
+            f"{entry['wall_self_s'] * 1e3:>8.3f}ms  {bar}")
+    return "\n".join(lines)

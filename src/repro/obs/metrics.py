@@ -1,0 +1,126 @@
+"""Lightweight named, labeled metric series (counters/gauges/histograms).
+
+Series are identified by a name plus a sorted label set and rendered in
+Prometheus-ish notation: ``nand.read.pages{channel=3}``. The registry is a
+plain dict — no locks, no background threads — because the simulator is
+single-threaded; "snapshotable mid-run" just means :meth:`snapshot` may be
+called between (or during) queries and returns plain JSON-able values in a
+deterministic sorted order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+Number = Union[int, float]
+
+
+def series_key(name: str, labels: dict[str, Any]) -> str:
+    """Canonical series id, e.g. ``nand.read.pages{channel=3}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing total (ints or floats)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter decrement: {amount}")
+        self.value += amount
+
+    def snapshot_value(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def adjust(self, delta: Number) -> None:
+        self.value += delta
+
+    def snapshot_value(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max / mean.
+
+    Full bucketing is overkill here — the interesting distributions (query
+    latencies, transfer sizes) are small enough that tests and reports only
+    need the moments, and a fixed-size summary keeps `observe` O(1).
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def snapshot_value(self) -> dict[str, Number]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "sum": self.total, "min": self.vmin,
+                "max": self.vmax, "mean": self.total / self.count}
+
+
+class MetricsRegistry:
+    """Creates-or-returns metric series keyed by (name, labels)."""
+
+    def __init__(self):
+        self._series: dict[str, Any] = {}
+
+    def _get(self, factory, name: str, labels: dict[str, Any]):
+        key = series_key(name, labels)
+        metric = self._series.get(key)
+        if metric is None:
+            metric = factory()
+            self._series[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"series {key!r} already registered as "
+                f"{type(metric).__name__}, not {factory.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All series as plain values, sorted by series key."""
+        return {key: self._series[key].snapshot_value()
+                for key in sorted(self._series)}

@@ -1,0 +1,214 @@
+"""Structured spans: the timeline half of the observability layer.
+
+A :class:`Span` measures one named region of work on a *track* (a logical
+timeline lane: one protocol session, one flash channel, the DRAM bus, one
+query execution). Spans carry two clocks:
+
+* **virtual time** — ``sim.now`` at enter/exit, the simulation's own
+  timeline. Opening a span never schedules an event, so an instrumented
+  run is bit-identical in virtual time to an uninstrumented one.
+* **wall-clock self-time** — real seconds spent between enter and exit,
+  minus the wall time of directly nested child spans on the same track.
+  This is where the *simulator's own* Python cost shows up, which is what
+  you profile when the harness, not the modeled hardware, is slow.
+
+Tracks are designed so that spans on one track either nest properly or do
+not overlap at all (sessions poll sequentially; capacity-1 resources hold
+exclusively), which is exactly the shape the chrome-trace viewer renders
+as stacked slices. ``tests/obs`` asserts this property under concurrent
+execution.
+
+The subsystem is **zero-overhead when disabled**: every instrumentation
+site guards on ``sim.obs is None`` (a plain attribute test — no calls, no
+allocation), so the disabled hot path is unchanged; the perf-smoke CI job
+holds it to <5% of the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, stamped with both clocks."""
+
+    name: str
+    track: str
+    start: float            # virtual seconds at enter
+    end: float              # virtual seconds at exit
+    depth: int              # nesting depth on the track at enter (0 = root)
+    wall_self_s: float      # wall seconds minus nested children's wall time
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Virtual duration in seconds."""
+        return self.end - self.start
+
+
+class Span:
+    """An open span; use as a context manager (``with obs.span(...):``)."""
+
+    __slots__ = ("_obs", "name", "track", "attrs", "start", "_depth",
+                 "_wall_start", "_child_wall", "_parent", "_done")
+
+    def __init__(self, obs: "Observability", name: str, track: str,
+                 attrs: dict[str, Any]):
+        self._obs = obs
+        self.name = name
+        self.track = track
+        self.attrs = attrs
+        self.start = 0.0
+        self._depth = 0
+        self._wall_start = 0.0
+        self._child_wall = 0.0
+        self._parent: Optional[Span] = None
+        self._done = False
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (session ids, counts...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        obs = self._obs
+        self.start = obs.sim.now if obs.sim is not None else 0.0
+        stack = obs._stacks.setdefault(self.track, [])
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self)
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        """Close the span and append its record (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        obs = self._obs
+        wall = time.perf_counter() - self._wall_start
+        parent = self._parent
+        if parent is not None and not parent._done:
+            parent._child_wall += wall
+        stack = obs._stacks.get(self.track)
+        if stack is not None:
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        end = obs.sim.now if obs.sim is not None else self.start
+        obs.spans.append(SpanRecord(
+            name=self.name, track=self.track, start=self.start, end=end,
+            depth=self._depth, wall_self_s=max(0.0, wall - self._child_wall),
+            attrs=self.attrs))
+
+
+class _NullSpan:
+    """Reusable no-op span for disabled-observability call sites."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+
+#: Shared no-op span: stateless, hence safely reentrant and reusable.
+NULL_SPAN = _NullSpan()
+
+
+class Observability:
+    """One run's worth of spans, marks, metrics, and resource traces.
+
+    Attach to a simulated world with :meth:`attach` (or via
+    ``Database.enable_observability()``). Attaching installs the bundled
+    :class:`~repro.sim.trace.Tracer` — unless one is already present, in
+    which case it is adopted — so discrete marks (fault/retry/fallback
+    events) and per-resource utilization land in the same export as the
+    spans.
+    """
+
+    def __init__(self):
+        from repro.obs.metrics import MetricsRegistry
+        self.sim = None
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.spans: list[SpanRecord] = []
+        self._stacks: dict[str, list[Span]] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, sim) -> "Observability":
+        """Bind to a simulator: ``sim.obs = self`` plus tracer install."""
+        self.sim = sim
+        if sim.tracer is None:
+            sim.attach_tracer(self.tracer)
+        else:
+            self.tracer = sim.tracer
+        sim.obs = self
+        return self
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        """A new (not yet entered) span on ``track``."""
+        return Span(self, name, track, attrs)
+
+    def event(self, name: str, detail: str = "", **attrs: Any) -> None:
+        """Record a discrete timeline event (an instant, not a region)."""
+        now = self.sim.now if self.sim is not None else 0.0
+        if attrs:
+            extra = " ".join(f"{key}={value}"
+                             for key, value in sorted(attrs.items()))
+            detail = f"{detail} {extra}".strip()
+        self.tracer.mark(now, name, detail)
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_by_track(self) -> dict[str, list[SpanRecord]]:
+        """Finished spans grouped by track, each sorted by (start, -end)."""
+        grouped: dict[str, list[SpanRecord]] = {}
+        for record in self.spans:
+            grouped.setdefault(record.track, []).append(record)
+        for records in grouped.values():
+            records.sort(key=lambda r: (r.start, -r.end))
+        return grouped
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        """All finished spans with the given name, in completion order."""
+        return [record for record in self.spans if record.name == name]
+
+    def profile(self, since: int = 0) -> dict[str, Any]:
+        """Aggregate view of spans[since:] plus a metrics snapshot.
+
+        This is what lands in ``ExecutionReport.profile``: per-span-name
+        totals (count, virtual seconds, wall self seconds) and the current
+        metric values — JSON-friendly, stable key order.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for record in self.spans[since:]:
+            entry = totals.setdefault(
+                record.name, {"count": 0, "virtual_s": 0.0, "wall_self_s": 0.0})
+            entry["count"] += 1
+            entry["virtual_s"] += record.duration
+            entry["wall_self_s"] += record.wall_self_s
+        return {
+            "spans": {name: totals[name] for name in sorted(totals)},
+            "metrics": self.metrics.snapshot(),
+        }

@@ -147,11 +147,37 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         #: Optional :class:`repro.sim.trace.Tracer`; when set, every
-        #: resource reports its level changes here.
+        #: resource reports its level changes here. Attach at any time —
+        #: also mid-run — via :meth:`attach_tracer`.
         self.tracer = None
         #: Optional :class:`repro.faults.FaultPlan`; when set, fault sites
         #: throughout the stack consult it (and no-op when it is None).
         self.faults = None
+        #: Optional :class:`repro.obs.Observability`; when set, span and
+        #: metric instrumentation sites throughout the stack record here
+        #: (and are skipped with a single ``is None`` test when unset).
+        self.obs = None
+        #: Resources that have registered for tracing (see
+        #: :meth:`register_traceable`); lets a late-attached tracer backfill
+        #: current occupancy levels.
+        self._traceables: list = []
+
+    def register_traceable(self, resource) -> None:
+        """Remember a resource so a later :meth:`attach_tracer` can seed it."""
+        self._traceables.append(resource)
+
+    def attach_tracer(self, tracer) -> None:
+        """Install ``tracer``, seeding it with every live resource's level.
+
+        Safe to call *after* device construction (and even mid-run): each
+        already-built resource currently holding units gets an initial
+        level-change record at the current instant, so busy integrals and
+        gantt lanes computed from the attach point onward are correct.
+        """
+        self.tracer = tracer
+        for resource in self._traceables:
+            if resource._in_use:
+                tracer.record(resource.name, self._now, resource._in_use)
 
     @property
     def now(self) -> float:

@@ -43,6 +43,7 @@ class Resource:
         self.busy = BusyTracker()
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        sim.register_traceable(self)
 
     @property
     def in_use(self) -> int:
@@ -94,7 +95,8 @@ class Resource:
             tracer.record(self.name, self.sim.now, self._in_use)
 
 
-def seize(resource: Resource, hold_time: float) -> Generator[Event, None, None]:
+def seize(resource: Resource, hold_time: float,
+          obs_span=None) -> Generator[Event, None, None]:
     """Acquire ``resource``, hold it for ``hold_time``, then release.
 
     Use from inside a process as ``yield from seize(cpu, cycles / hz)``.
@@ -104,17 +106,31 @@ def seize(resource: Resource, hold_time: float) -> Generator[Event, None, None]:
     synchronously and the whole acquire/hold/release collapses into one
     timeout event. Virtual timestamps are unchanged: the unit is taken at
     the same ``sim.now`` the immediate grant would have recorded.
+
+    ``obs_span``, when given, is an unentered :class:`repro.obs.Span` that
+    brackets only the *hold* (after the grant, before the release). On a
+    capacity-1 resource holds are exclusive, so these spans never overlap —
+    each such resource becomes one clean chrome-trace lane. The span never
+    schedules events, so virtual timing is unaffected.
     """
     if FAST_PATH and resource._in_use < resource.capacity:
         resource._take()
         try:
-            yield resource.sim.timeout(hold_time)
+            if obs_span is None:
+                yield resource.sim.timeout(hold_time)
+            else:
+                with obs_span:
+                    yield resource.sim.timeout(hold_time)
         finally:
             resource.release()
         return
     yield resource.request()
     try:
-        yield resource.sim.timeout(hold_time)
+        if obs_span is None:
+            yield resource.sim.timeout(hold_time)
+        else:
+            with obs_span:
+                yield resource.sim.timeout(hold_time)
     finally:
         resource.release()
 
@@ -155,15 +171,19 @@ class Bandwidth:
             raise SimulationError(f"negative transfer on {self.name!r}")
         return nbytes / self.rate
 
-    def transfer(self, nbytes: int) -> Generator[Event, None, None]:
+    def transfer(self, nbytes: int,
+                 obs_span=None) -> Generator[Event, None, None]:
         """Move ``nbytes`` across the link (process-composable).
 
         ``bytes_moved`` is credited on *completion*, not on request: a
         transfer aborted mid-flight (fault injection, closed generator)
         must not inflate the byte counters that utilization reports and
         the energy model derive from.
+
+        ``obs_span`` brackets the occupancy of the link, as in
+        :func:`seize`.
         """
-        yield from seize(self._lane, self.service_time(nbytes))
+        yield from seize(self._lane, self.service_time(nbytes), obs_span)
         self._bytes_moved += nbytes
 
     def utilization(self, now: Optional[float] = None) -> float:

@@ -1,11 +1,20 @@
 """Optional resource tracing: utilization timelines for any simulation.
 
-Attach a :class:`Tracer` to a simulator before building devices::
+Attach a :class:`Tracer` to a simulator at any time — before or after
+building devices, even mid-run::
 
     sim = Simulator()
-    sim.tracer = Tracer()
+    ... build devices, maybe run a while ...
+    sim.attach_tracer(Tracer())
     ... run a query ...
     print(sim.tracer.gantt(width=60))
+
+Resources register with the simulator as they are built;
+:meth:`Simulator.attach_tracer` backfills the current occupancy of each
+one, so a tracer attached after device construction still produces correct
+busy integrals from the attach point onward. (Plain ``sim.tracer = Tracer()``
+also works — resources look the tracer up dynamically on every level
+change — but skips the occupancy backfill.)
 
 Every :class:`~repro.sim.resources.Resource` (and the lane inside every
 :class:`~repro.sim.resources.Bandwidth`) reports its level changes, so the

@@ -139,7 +139,22 @@ class SmartSsdArray:
         counters = WorkCounters()
         degraded: list[str] = []
 
+        obs = self.sim.obs
+
         def device_driver(index: int, device: SmartSsd):
+            worker_span = None
+            if obs is not None:
+                worker_span = obs.span(
+                    "array.worker", track=f"array:{device.spec.name}",
+                    query=query.name, partition=index).__enter__()
+            try:
+                payload = yield from device_attempts(index, device)
+            finally:
+                if worker_span is not None:
+                    worker_span.finish()
+            return payload
+
+        def device_attempts(index: int, device: SmartSsd):
             arguments = {
                 "query": query,
                 "heap": table.heaps[index],
@@ -171,6 +186,10 @@ class SmartSsdArray:
                         ) from exc
                     counters.pushdown_fallbacks += 1
                     degraded.append(device.spec.name)
+                    if self.sim.tracer is not None:
+                        self.sim.tracer.mark(
+                            self.sim.now, "array-degraded",
+                            f"{device.spec.name} partition={index}: {exc}")
                     try:
                         payload = yield from self._host_partition_scan(
                             device, query, table.heaps[index],

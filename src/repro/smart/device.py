@@ -85,7 +85,13 @@ class SmartSsd(Ssd):
         """OPEN: grant resources, start the program, return the session id."""
         yield from self._check_alive("open")
         yield from self._maybe_slow("open")
-        yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("protocol.commands", kind="open",
+                                device=self.spec.name).inc()
+        yield from self.interface.transfer(
+            COMMAND_FRAME_NBYTES,
+            self._interface_span("interface.command", COMMAND_FRAME_NBYTES))
         session = self.runtime.open(params)
         program = self.runtime.program(params.program)
         args = ProgramArguments.from_open(params.arguments)
@@ -111,16 +117,29 @@ class SmartSsd(Ssd):
         """
         yield from self._check_alive("get")
         yield from self._maybe_slow("get")
-        yield from self.interface.transfer(GET_FRAME_NBYTES)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("protocol.commands", kind="get",
+                                device=self.spec.name).inc()
+        yield from self.interface.transfer(
+            GET_FRAME_NBYTES,
+            self._interface_span("interface.command", GET_FRAME_NBYTES))
         session = self.runtime.session(session_id)
         if ack is not None and session.reply_seq > ack:
             seq, payload, nbytes = session.replay_reply()
+            if obs is not None:
+                obs.metrics.counter("protocol.get.replays",
+                                    device=self.spec.name).inc()
         else:
             if not session.has_news():
                 yield session.wait_news()
             seq, payload, nbytes = session.drain_reply()
         if nbytes:
-            yield from self.interface.transfer(nbytes)
+            if obs is not None:
+                obs.metrics.counter("protocol.get.bytes",
+                                    device=self.spec.name).inc(nbytes)
+            yield from self.interface.transfer(
+                nbytes, self._interface_span("interface.reply", nbytes))
         decision = check_fault(getattr(self.sim, "faults", None),
                                SITE_GET_TIMEOUT, time=self.sim.now,
                                device=self.spec.name, session=session_id,
@@ -143,5 +162,11 @@ class SmartSsd(Ssd):
         """CLOSE: tear the session down and release its grants."""
         yield from self._check_alive("close")
         yield from self._maybe_slow("close")
-        yield from self.interface.transfer(COMMAND_FRAME_NBYTES)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("protocol.commands", kind="close",
+                                device=self.spec.name).inc()
+        yield from self.interface.transfer(
+            COMMAND_FRAME_NBYTES,
+            self._interface_span("interface.command", COMMAND_FRAME_NBYTES))
         self.runtime.close(session_id)

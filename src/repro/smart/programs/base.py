@@ -159,6 +159,10 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
     heap = args.heap
     costs = device.costs
     sim = device.sim
+    obs = sim.obs
+    # One chrome-trace lane per device session; build then scan are
+    # sequential phases on it, so their spans never overlap.
+    session_track = f"{device.spec.name}:session-{session.id}"
 
     # Phase 1: build the join hash table from the dimension heap.
     hash_table = None
@@ -184,13 +188,20 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                 counters.io_units += 1
                 touched = collector.consume(pages, counters,
                                             args.build_heap.layout)
-                yield from device.controller.dram_bus.transfer(touched)
+                yield from device.controller.dram_bus.transfer(
+                    touched,
+                    None if obs is None else obs.span(
+                        "dram.touch", track=device.controller.dram_bus.name,
+                        bytes=touched))
                 yield from device.compute(
                     costs.cycles(counters, large_hash_table=large_table))
                 session.counters.add(counters)
             finally:
                 build_window.release()
 
+        build_span = None if obs is None else obs.span(
+            "device.build", track=session_track, session=session.id,
+            query=query.name).__enter__()
         build_jobs = [
             sim.process(build_unit(i, lpns),
                         name=f"session-{session.id}-build-{i}")
@@ -198,7 +209,11 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                 unit_lpn_runs(args.build_heap, args.io_unit_pages))
         ]
         # Probing needs the complete table: the build phase is a barrier.
-        yield sim.all_of(build_jobs)
+        try:
+            yield sim.all_of(build_jobs)
+        finally:
+            if build_span is not None:
+                build_span.set(units=len(build_jobs)).finish()
         hash_table = collector.finish()
 
     # Phase 2: windowed pipeline over the fact heap.
@@ -229,30 +244,52 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                     out_columns.append(partial.columns)
                 else:
                     agg_total.merge(partial.agg, query.aggregates)
-            yield from device.controller.dram_bus.transfer(touched)
+            yield from device.controller.dram_bus.transfer(
+                touched,
+                None if obs is None else obs.span(
+                    "dram.touch", track=device.controller.dram_bus.name,
+                    bytes=touched))
             yield from device.compute(
                 costs.cycles(counters, large_hash_table=large_table))
             session.counters.add(counters)
+            if obs is not None:
+                obs.metrics.counter("program.units",
+                                    device=device.spec.name).inc()
             if select_mode:
                 nbytes = RESULT_FRAME_NBYTES + sum(
                     array.nbytes for chunk in out_columns
                     for array in chunk.values())
                 # Results are staged through device DRAM before the host
                 # drains them over the interface.
-                yield from device.controller.dram_bus.transfer(nbytes)
+                yield from device.controller.dram_bus.transfer(
+                    nbytes,
+                    None if obs is None else obs.span(
+                        "dram.stage", track=device.controller.dram_bus.name,
+                        bytes=nbytes))
                 session.push((index, out_columns), nbytes)
         finally:
             window.release()
 
+    scan_span = None if obs is None else obs.span(
+        "device.scan", track=session_track, session=session.id,
+        query=query.name).__enter__()
     processes = [
         sim.process(unit_process(index, lpns),
                     name=f"session-{session.id}-unit-{index}")
         for index, lpns in enumerate(unit_lpn_runs(heap, args.io_unit_pages))
     ]
-    yield sim.all_of(processes)
+    try:
+        yield sim.all_of(processes)
 
-    if not select_mode:
-        nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
-            len(query.aggregates) * max(1, len(agg_total.groups) or 1))
-        yield from device.controller.dram_bus.transfer(nbytes)
-        session.push(("agg", agg_total), nbytes)
+        if not select_mode:
+            nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
+                len(query.aggregates) * max(1, len(agg_total.groups) or 1))
+            yield from device.controller.dram_bus.transfer(
+                nbytes,
+                None if obs is None else obs.span(
+                    "dram.stage", track=device.controller.dram_bus.name,
+                    bytes=nbytes))
+            session.push(("agg", agg_total), nbytes)
+    finally:
+        if scan_span is not None:
+            scan_span.set(units=len(processes)).finish()

@@ -154,6 +154,10 @@ class SmartRuntime:
         session = Session(id=self._ids.next_id(), params=params, sim=self.sim)
         session.grants.append(self.dram.allocate(RESULT_BUFFER_NBYTES))
         self._sessions[session.id] = session
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("runtime.sessions.opened").inc()
+            obs.metrics.gauge("runtime.sessions.open").set(len(self._sessions))
         return session
 
     def grant_memory(self, session: Session, nbytes: int) -> None:
@@ -175,6 +179,9 @@ class SmartRuntime:
         session.grants.clear()
         session.status = SessionStatus.CLOSED
         del self._sessions[session_id]
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.gauge("runtime.sessions.open").set(len(self._sessions))
 
     @property
     def open_session_count(self) -> int:

@@ -3,14 +3,16 @@
 The paper expresses its workload as SQL (Q6, Q14, the synthetic join);
 this package parses that dialect directly::
 
-    report = db.sql(\"\"\"
+    session = repro.connect()
+    ...
+    report = session.execute(\"\"\"
         SELECT SUM(l_extendedprice * l_discount) AS revenue
         FROM lineitem
         WHERE l_shipdate >= DATE '1994-01-01'
           AND l_shipdate <  DATE '1995-01-01'
           AND l_discount BETWEEN 0.05 AND 0.07
           AND l_quantity < 24
-    \"\"\", placement="smart")
+    \"\"\", placement=repro.Placement.SMART)
 
 Supported: SELECT [DISTINCT] with expressions and aggregates (SUM, COUNT,
 MIN, MAX, AVG — plus arithmetic *over* aggregates, e.g. Q14's ratio),

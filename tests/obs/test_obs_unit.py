@@ -1,0 +1,224 @@
+"""Unit tests for the observability primitives (spans, metrics, exporters)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Observability,
+    chrome_trace,
+    flame_summary,
+    jsonl_events,
+    series_key,
+    validate_chrome_trace,
+)
+from repro.sim import Simulator
+
+
+def make_obs():
+    obs = Observability()
+    obs.attach(Simulator())
+    return obs
+
+
+class TestSpans:
+    def test_span_records_virtual_clocks(self):
+        obs = make_obs()
+        with obs.span("outer", track="t"):
+            obs.sim._now = 2.0
+            with obs.span("inner", track="t"):
+                obs.sim._now = 3.0
+        records = {record.name: record for record in obs.spans}
+        assert records["inner"].start == 2.0
+        assert records["inner"].end == 3.0
+        assert records["inner"].depth == 1
+        assert records["outer"].start == 0.0
+        assert records["outer"].end == 3.0
+        assert records["outer"].depth == 0
+        assert records["inner"].duration == pytest.approx(1.0)
+
+    def test_wall_self_excludes_children(self):
+        obs = make_obs()
+        with obs.span("outer", track="t"):
+            with obs.span("inner", track="t"):
+                pass
+        outer = obs.spans_named("outer")[0]
+        inner = obs.spans_named("inner")[0]
+        assert outer.wall_self_s >= 0.0
+        assert inner.wall_self_s >= 0.0
+
+    def test_set_attaches_attrs_mid_span(self):
+        obs = make_obs()
+        span = obs.span("s", track="t", fixed=1).__enter__()
+        span.set(discovered=42)
+        span.finish()
+        assert obs.spans[0].attrs == {"fixed": 1, "discovered": 42}
+
+    def test_finish_is_idempotent(self):
+        obs = make_obs()
+        span = obs.span("s").__enter__()
+        span.finish()
+        span.finish()
+        assert len(obs.spans) == 1
+
+    def test_tracks_are_independent(self):
+        obs = make_obs()
+        a = obs.span("a", track="one").__enter__()
+        b = obs.span("b", track="two").__enter__()
+        b.finish()
+        a.finish()
+        assert obs.spans_named("a")[0].depth == 0
+        assert obs.spans_named("b")[0].depth == 0
+
+    def test_null_span_is_inert_and_reusable(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is span
+        span.finish()
+        with NULL_SPAN:
+            pass
+
+    def test_spans_by_track_sorted_parents_first(self):
+        obs = make_obs()
+        with obs.span("outer", track="t"):
+            obs.sim._now = 1.0
+            with obs.span("inner", track="t"):
+                obs.sim._now = 2.0
+        grouped = obs.spans_by_track()
+        assert [record.name for record in grouped["t"]] == ["outer", "inner"]
+
+    def test_profile_aggregates_and_slices(self):
+        obs = make_obs()
+        with obs.span("work"):
+            obs.sim._now = 1.0
+        with obs.span("work"):
+            obs.sim._now = 3.0
+        profile = obs.profile()
+        assert profile["spans"]["work"]["count"] == 2
+        assert profile["spans"]["work"]["virtual_s"] == pytest.approx(3.0)
+        assert obs.profile(since=1)["spans"]["work"]["count"] == 1
+
+
+class TestObservabilityWiring:
+    def test_attach_sets_sim_obs_and_tracer(self):
+        sim = Simulator()
+        obs = Observability().attach(sim)
+        assert sim.obs is obs
+        assert sim.tracer is obs.tracer
+
+    def test_attach_adopts_existing_tracer(self):
+        from repro.sim import Tracer
+        sim = Simulator()
+        existing = Tracer()
+        sim.attach_tracer(existing)
+        obs = Observability().attach(sim)
+        assert obs.tracer is existing
+        assert sim.tracer is existing
+
+    def test_event_lands_as_tracer_mark(self):
+        obs = make_obs()
+        obs.sim._now = 1.5
+        obs.event("ecc-retry", "page 7", round=2)
+        mark = obs.tracer.marks()[0]
+        assert mark.time == 1.5
+        assert mark.label == "ecc-retry"
+        assert mark.detail == "page 7 round=2"
+
+
+class TestMetrics:
+    def test_series_key_sorts_labels(self):
+        assert series_key("m", {}) == "m"
+        assert series_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_counter_create_or_return(self):
+        obs = make_obs()
+        obs.metrics.counter("nand.read.pages", channel=3).inc(4)
+        obs.metrics.counter("nand.read.pages", channel=3).inc()
+        assert obs.metrics.snapshot() == {"nand.read.pages{channel=3}": 5}
+
+    def test_counter_rejects_decrement(self):
+        obs = make_obs()
+        with pytest.raises(ValueError, match="decrement"):
+            obs.metrics.counter("c").inc(-1)
+
+    def test_gauge_set_and_adjust(self):
+        obs = make_obs()
+        gauge = obs.metrics.gauge("sessions.open")
+        gauge.set(3)
+        gauge.adjust(-1)
+        assert obs.metrics.snapshot()["sessions.open"] == 2
+
+    def test_histogram_summary(self):
+        obs = make_obs()
+        hist = obs.metrics.histogram("lat")
+        for value in (1.0, 3.0):
+            hist.observe(value)
+        assert obs.metrics.snapshot()["lat"] == {
+            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert obs.metrics.histogram("empty").snapshot_value()["count"] == 0
+
+    def test_kind_mismatch_rejected(self):
+        obs = make_obs()
+        obs.metrics.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            obs.metrics.gauge("x")
+
+    def test_snapshot_sorted(self):
+        obs = make_obs()
+        obs.metrics.counter("zeta").inc()
+        obs.metrics.counter("alpha").inc()
+        assert list(obs.metrics.snapshot()) == ["alpha", "zeta"]
+
+
+class TestExporters:
+    def filled_obs(self):
+        obs = make_obs()
+        with obs.span("outer", track="lane", pages=4):
+            obs.sim._now = 1.0
+            with obs.span("inner", track="lane"):
+                obs.sim._now = 2.0
+        obs.event("retry", "attempt 2")
+        obs.tracer.record("bus", 0.0, 1)
+        obs.tracer.record("bus", 1.0, 0)
+        obs.metrics.counter("c").inc(7)
+        return obs
+
+    def test_chrome_trace_validates_and_counts(self):
+        payload = chrome_trace(self.filled_obs())
+        counts = validate_chrome_trace(payload)
+        assert counts["X"] == 2
+        assert counts["i"] == 1
+        assert counts["C"] == 2
+        assert counts["M"] >= 3
+
+    def test_chrome_trace_microsecond_scaling(self):
+        payload = chrome_trace(self.filled_obs())
+        inner = next(e for e in payload["traceEvents"]
+                     if e.get("ph") == "X" and e["name"] == "inner")
+        assert inner["ts"] == pytest.approx(1.0 * 1e6)
+        assert inner["dur"] == pytest.approx(1.0 * 1e6)
+
+    def test_validator_rejects_malformed_events(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "Q", "name": "x",
+                                                    "pid": 1}]})
+        with pytest.raises(ValueError, match="bad ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                 "ts": -1.0, "dur": 0.0}]})
+        with pytest.raises(ValueError, match="unknown metadata"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "M", "name": "bogus_meta", "pid": 1}]})
+
+    def test_jsonl_stream_is_parseable(self):
+        lines = list(jsonl_events(self.filled_obs()))
+        parsed = [json.loads(line) for line in lines]
+        kinds = {entry["type"] for entry in parsed}
+        assert kinds == {"span", "mark", "metric"}
+
+    def test_flame_summary_lists_every_span_name(self):
+        text = flame_summary(self.filled_obs())
+        assert "outer" in text and "inner" in text and "#" in text
+        assert flame_summary(make_obs()) == "(no spans recorded)"

@@ -98,3 +98,36 @@ class TestIntegration:
         cpu = db.sim.tracer.busy_fraction("smart-ssd-cpu", 0.0, end,
                                           capacity=3)
         assert cpu > 0.7
+
+
+class TestLateAttach:
+    def test_attach_after_construction_backfills_occupancy(self):
+        """A tracer attached mid-run still sees currently-held resources."""
+        sim = Simulator()
+        resource = Resource(sim, 1, name="bus")
+
+        def worker():
+            yield from seize(resource, 4.0)
+            yield sim.timeout(2.0)
+
+        sim.process(worker())
+        sim.run(until=1.0)           # bus is held, no tracer yet
+        sim.attach_tracer(Tracer())  # late attach: backfill current level
+        sim.run()
+        assert sim.tracer.events("bus") == [
+            LevelChange(1.0, 1), LevelChange(4.0, 0)]
+        assert sim.tracer.busy_fraction("bus", 1.0, 4.0) == pytest.approx(1.0)
+
+    def test_attach_on_idle_sim_records_nothing_until_use(self):
+        sim = Simulator()
+        resource = Resource(sim, 1, name="lane")
+        sim.attach_tracer(Tracer())
+        assert sim.tracer.resources() == []
+
+        def worker():
+            yield from seize(resource, 1.0)
+
+        sim.process(worker())
+        sim.run()
+        assert sim.tracer.events("lane") == [
+            LevelChange(0.0, 1), LevelChange(1.0, 0)]
