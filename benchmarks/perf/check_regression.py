@@ -6,9 +6,15 @@ CPU calibration time, and every metric is expressed in calibration units
 before comparison (throughputs multiply by the calibration, durations divide
 by it). Function-call counts are machine-independent and compared directly.
 
+Virtual-time metrics (the scheduler's queries/sec and speedup figures)
+come from the discrete-event simulation and are deterministic across
+machines, so they gate on absolute floors (``FLOORS``) instead of the
+relative tolerance: the current run must meet the floor outright.
+
 Exit status is non-zero when any metric regresses by more than the
-tolerance (default 25%). Improvements never fail; run with
-``--update-baseline`` after an intentional perf change to re-baseline.
+tolerance (default 25%) or falls below its floor. Improvements never
+fail; run with ``--update-baseline`` after an intentional perf change to
+re-baseline.
 
 Usage::
 
@@ -24,10 +30,19 @@ import shutil
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "BENCH_PR2.json"
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR4.json"
 
 #: Allowed fractional regression before the gate fails.
 TOLERANCE = 0.25
+
+#: Absolute minimums for deterministic virtual-time metrics (higher is
+#: better). The scheduler's ISSUE-4 contract: >= 2x queries/sec at fan-in
+#: 8 vs serial, with real NAND traffic elided by scan sharing.
+FLOORS = {
+    "sched_fanin8_speedup_x": 2.0,
+    "sched_fanin8_queries_per_vs": 600.0,
+    "sched_fanin8_saved_page_reads": 1000.0,
+}
 
 
 def _normalize(report: dict) -> dict[str, float]:
@@ -35,6 +50,10 @@ def _normalize(report: dict) -> dict[str, float]:
     calibration = report["calibration_s"]
     normalized = {}
     for key, value in report["metrics"].items():
+        if key in FLOORS:
+            # Floor-gated: deterministic virtual-time figures, checked as
+            # absolute minimums rather than calibrated ratios.
+            continue
         if key.endswith("_per_s"):
             # Work per calibration-unit of CPU: higher is better.
             normalized[key] = value * calibration
@@ -87,6 +106,18 @@ def main(argv=None) -> int:
         baseline = {key: baseline[key] for key in wanted}
 
     failures = []
+    if not args.only:
+        current_raw = json.loads(args.current.read_text())["metrics"]
+        for key, floor in sorted(FLOORS.items()):
+            value = current_raw.get(key)
+            if value is None:
+                failures.append(f"{key}: missing from current run")
+                continue
+            marker = "FAIL" if value < floor else "ok"
+            print(f"  [{marker}] {key}: {value:,.1f} (floor {floor:,.1f})")
+            if value < floor:
+                failures.append(f"{key}: {value:,.1f} below floor "
+                                f"{floor:,.1f}")
     for key in sorted(baseline):
         if key not in current:
             failures.append(f"{key}: missing from current run")

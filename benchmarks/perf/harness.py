@@ -1,14 +1,15 @@
 #!/usr/bin/env python
-"""Perf-regression micro-harness: times the hot paths, emits BENCH_PR2.json.
+"""Perf-regression micro-harness: times the hot paths, emits BENCH_PR4.json.
 
 Plain stdlib + numpy script (no pytest-benchmark) so it runs anywhere the
 library runs, including CI. It measures four micro-benchmarks (page encode,
 page decode, kernel page processing, DES event throughput), two end-to-end
-figures (Fig. 3 Q6 and Fig. 5 join selectivity), and one machine-independent
-metric: the total Python function-call count of a fixed workload, captured
-with cProfile. Wall-clock numbers are normalized by a CPU calibration loop
-so the regression gate (``check_regression.py``) is meaningful across
-machines of different speeds.
+figures (Fig. 3 Q6 and Fig. 5 join selectivity), scheduler scan-sharing
+throughput in *virtual* time (machine-independent), and one more
+machine-independent metric: the total Python function-call count of a fixed
+workload, captured with cProfile. Wall-clock numbers are normalized by a
+CPU calibration loop so the regression gate (``check_regression.py``) is
+meaningful across machines of different speeds.
 
 Usage::
 
@@ -26,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_PR2.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
 
 
 def _best_of(fn, repeats=3):
@@ -154,6 +155,36 @@ def bench_figures():
     return out
 
 
+def bench_scheduler():
+    """Scan-sharing throughput at fan-in 8, in virtual (simulated) time.
+
+    Virtual-time figures are deterministic across machines, so these
+    metrics gate on absolute floors (see check_regression.FLOORS) rather
+    than the calibrated relative tolerance.
+    """
+    from repro.bench.runners import DeviceKind, make_tpch_db
+    from repro.sched import QueryScheduler
+    from repro.storage import Layout
+    from repro.workloads import q6_query
+
+    solo_db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
+    solo = solo_db.execute_placed(q6_query(), "smart")
+
+    fan_in = 8
+    db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
+    scheduler = QueryScheduler(db)
+    for __ in range(fan_in):
+        scheduler.submit(q6_query(), "smart")
+    scheduler.gather()
+    window = scheduler.stats["window_seconds"]
+    return {
+        "sched_fanin8_speedup_x": solo.elapsed_seconds * fan_in / window,
+        "sched_fanin8_queries_per_vs": fan_in / window,
+        "sched_fanin8_saved_page_reads":
+            float(scheduler.stats["saved_page_reads"]),
+    }
+
+
 def count_calls():
     """Total function calls of a fixed workload — machine-independent."""
     from repro.bench.figures import fig3_q6
@@ -179,7 +210,7 @@ def main(argv=None) -> int:
     calibration = calibrate()
     metrics = {}
     for section in (bench_encode, bench_decode, bench_kernel, bench_des,
-                    bench_figures):
+                    bench_figures, bench_scheduler):
         section_metrics = section()
         metrics.update(section_metrics)
         for key, value in section_metrics.items():

@@ -57,6 +57,7 @@ from repro.errors import ReproError
 from repro.host.db import Database, DatabaseConfig
 from repro.model import ExecutionReport
 from repro.smart.array import SmartSsdArray
+from repro.sched import AdmissionPolicy, QueryScheduler, SchedulerConfig
 from repro.smart.device import SmartSsd, SmartSsdSpec
 from repro.storage import Column, Layout, Schema
 from repro.storage.types import (
@@ -71,6 +72,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Add",
+    "AdmissionPolicy",
     "AggSpec",
     "And",
     "CaseWhen",
@@ -95,8 +97,10 @@ __all__ = [
     "Or",
     "Placement",
     "Query",
+    "QueryScheduler",
     "ReproError",
     "Schema",
+    "SchedulerConfig",
     "Session",
     "SmartSsd",
     "SmartSsdArray",

@@ -24,7 +24,7 @@ as a deprecated shim; see ``docs/ARCHITECTURE.md`` for the migration note.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -33,12 +33,18 @@ from repro.host.db import Database, DatabaseConfig
 from repro.model.report import ExecutionReport
 from repro.storage import Layout, Schema
 
+if TYPE_CHECKING:
+    from repro.sched import QueryScheduler, SchedulerConfig
+
 
 class Session:
     """A connection-like handle over one simulated database world."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database,
+                 scheduler_config: Optional["SchedulerConfig"] = None):
         self.db = db
+        self._scheduler_config = scheduler_config
+        self._scheduler: Optional["QueryScheduler"] = None
 
     # -- setup conveniences (thin delegation) ------------------------------
 
@@ -96,15 +102,55 @@ class Session:
         """Render the physical plan for a query or SQL string."""
         return self.db.explain(query_or_sql, placement=placement)
 
+    # -- scheduled execution -------------------------------------------------
+
+    @property
+    def scheduler(self) -> "QueryScheduler":
+        """The session's :class:`~repro.sched.QueryScheduler` (lazy)."""
+        if self._scheduler is None:
+            from repro.sched import QueryScheduler
+            self._scheduler = QueryScheduler(self.db,
+                                             self._scheduler_config)
+        return self._scheduler
+
+    def submit(self, query_or_sql: Union[Query, str],
+               placement: Union[Placement, str] = Placement.SMART,
+               at: float = 0.0):
+        """Enqueue a query for scheduled execution; returns its ticket.
+
+        ``at`` is the query's arrival offset in virtual seconds from the
+        start of the next :meth:`gather` window — later arrivals can join
+        an in-flight shared scan mid-extent. Nothing executes until
+        :meth:`gather`.
+        """
+        if isinstance(query_or_sql, str):
+            query_or_sql = self.compile(query_or_sql)
+        return self.scheduler.submit(query_or_sql, placement, at=at)
+
+    def gather(self) -> list[ExecutionReport]:
+        """Run every pending :meth:`submit` through the scheduler.
+
+        Queries on the same device pass admission control (bounded
+        in-flight executions); concurrently admitted queries over the same
+        table extent share one device-side scan. Returns one report per
+        submission, in submission order. A single immediate submission is
+        bit-identical to :meth:`execute`.
+        """
+        return self.scheduler.gather()
+
 
 def connect(config: Optional[DatabaseConfig] = None, *,
-            observability: bool = False) -> Session:
+            observability: bool = False,
+            scheduler: Optional["SchedulerConfig"] = None) -> Session:
     """Open a fresh simulated world and return a :class:`Session` on it.
 
     ``observability=True`` attaches a :class:`repro.obs.Observability`
     up front, so every subsequent execution records spans and metrics.
+    ``scheduler`` configures the session's query scheduler
+    (:class:`repro.sched.SchedulerConfig`; default: FIFO admission, 4
+    in-flight per device, scan sharing on).
     """
     db = Database(config)
     if observability:
         db.enable_observability()
-    return Session(db)
+    return Session(db, scheduler_config=scheduler)

@@ -33,6 +33,7 @@ from repro.bench.ablations import (
     ext_concurrent_queries,
     ext_multi_ssd,
     ext_optimizer,
+    ext_scheduler,
 )
 from repro.bench.figures import (
     ExperimentResult,
@@ -75,6 +76,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
            ext_concurrent_queries),
     "e4": ("extension: caching benefit of host execution",
            ext_caching_benefit),
+    "e5": ("extension: scheduled batches with cooperative scan sharing",
+           ext_scheduler),
 }
 
 
@@ -109,6 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _single_query_run(query, placement):
+    """A trace runner executing one query through execute_placed."""
+    def run(db):
+        report = db.execute_placed(query, placement)
+        return {
+            "label": query.name,
+            "placement": report.placement,
+            "elapsed_seconds": report.elapsed_seconds,
+            "row_count": report.row_count,
+            "span_names": (("smart.open", "smart.get", "smart.close")
+                           if report.placement == "smart"
+                           else ("host.build", "host.scan")),
+        }
+    return run
+
+
 def _trace_fig3_q6():
     """The fig3 Q6 pushdown leg (smart-ssd, PAX) at run scale."""
     from repro.bench.runners import DeviceKind, make_tpch_db
@@ -116,7 +135,7 @@ def _trace_fig3_q6():
     from repro.storage import Layout
     from repro.workloads import q6_query
     db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
-    return db, q6_query(), Placement.SMART
+    return db, _single_query_run(q6_query(), Placement.SMART)
 
 
 def _trace_fig3_q6_host():
@@ -126,7 +145,7 @@ def _trace_fig3_q6_host():
     from repro.storage import Layout
     from repro.workloads import q6_query
     db = make_tpch_db(DeviceKind.SSD, Layout.NSM)
-    return db, q6_query(), Placement.HOST
+    return db, _single_query_run(q6_query(), Placement.HOST)
 
 
 def _trace_fig7_q14():
@@ -136,14 +155,41 @@ def _trace_fig7_q14():
     from repro.storage import Layout
     from repro.workloads import q14_query
     db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
-    return db, q14_query(), Placement.SMART
+    return db, _single_query_run(q14_query(), Placement.SMART)
 
 
-#: Traceable runs: name -> builder returning (db, query, placement).
+def _trace_sched():
+    """A scheduled fan-in-4 Q6 batch through one shared device scan."""
+    from repro.bench.runners import DeviceKind, make_tpch_db
+    from repro.storage import Layout
+    from repro.workloads import q6_query
+    db = make_tpch_db(DeviceKind.SMART, Layout.PAX)
+
+    def run(db):
+        from repro.sched import QueryScheduler
+        scheduler = QueryScheduler(db)
+        fan_in = 4
+        for __ in range(fan_in):
+            scheduler.submit(q6_query(), "smart")
+        reports = scheduler.gather()
+        return {
+            "label": f"{fan_in}x {q6_query().name} (shared scan)",
+            "placement": "smart",
+            "elapsed_seconds": scheduler.stats["window_seconds"],
+            "row_count": sum(r.row_count for r in reports),
+            "span_names": ("sched.queued", "smart.open", "smart.get",
+                           "smart.close"),
+        }
+    return db, run
+
+
+#: Traceable runs: name -> builder returning (db, run) where run(db)
+#: executes under observability and returns a summary dict.
 TRACEABLE: dict[str, Callable] = {
     "fig3_q6": _trace_fig3_q6,
     "fig3_q6_host": _trace_fig3_q6_host,
     "fig7_q14": _trace_fig7_q14,
+    "sched": _trace_sched,
 }
 
 
@@ -154,9 +200,9 @@ def cmd_trace(target: str, output: Path | None, jsonl: Path | None,
 
     from repro.obs import chrome_trace, flame_summary, jsonl_events
 
-    db, query, placement = TRACEABLE[target]()
+    db, run = TRACEABLE[target]()
     obs = db.enable_observability()
-    report = db.execute_placed(query, placement)
+    summary = run(db)
 
     if output is None:
         output = Path(f"trace-{target}.json")
@@ -164,21 +210,20 @@ def cmd_trace(target: str, output: Path | None, jsonl: Path | None,
     if jsonl is not None:
         jsonl.write_text("\n".join(jsonl_events(obs)) + "\n")
 
-    print(f"{target}: {report.placement} execution of {query.name} in "
-          f"{report.elapsed_seconds * 1e3:.3f} ms (virtual), "
-          f"{report.row_count} rows", file=out)
+    print(f"{target}: {summary['placement']} execution of "
+          f"{summary['label']} in "
+          f"{summary['elapsed_seconds'] * 1e3:.3f} ms (virtual), "
+          f"{summary['row_count']} rows", file=out)
     print(flame_summary(obs), file=out)
     # The protocol spans tile the run: their summed virtual durations must
-    # reconcile with the report's elapsed time (the remainder is host-side
-    # merge work and retry backoff between round-trips).
-    session_names = (("smart.open", "smart.get", "smart.close")
-                     if report.placement == "smart"
-                     else ("host.build", "host.scan"))
-    covered = sum(span.duration for name in session_names
+    # reconcile with the elapsed window (the remainder is host-side merge
+    # work and retry backoff between round-trips; for scheduled runs,
+    # shared sessions overlap so coverage can exceed 100%).
+    covered = sum(span.duration for name in summary["span_names"]
                   for span in obs.spans_named(name))
     print(f"protocol spans cover {covered * 1e3:.3f} ms of "
-          f"{report.elapsed_seconds * 1e3:.3f} ms elapsed "
-          f"({covered / report.elapsed_seconds:.1%})", file=out)
+          f"{summary['elapsed_seconds'] * 1e3:.3f} ms elapsed "
+          f"({covered / summary['elapsed_seconds']:.1%})", file=out)
     print(f"chrome trace written to {output}", file=out)
     return 0
 

@@ -11,6 +11,7 @@ identically and differ only in where pages flow and which CPU is charged.
 from repro.engine.expressions import (
     Add,
     And,
+    CachedEvalContext,
     CaseWhen,
     Col,
     Compare,
@@ -39,6 +40,7 @@ __all__ = [
     "AggSpec",
     "AggState",
     "And",
+    "CachedEvalContext",
     "CaseWhen",
     "Col",
     "Compare",

@@ -50,6 +50,19 @@ class EvalContext:
             self.counters.pax_values_extracted += active
 
 
+class CachedEvalContext(EvalContext):
+    """Evaluation over columns another query already materialized.
+
+    Used by shared scans: the leader decodes each page's column union once
+    (cold, full extract price); every member then re-reads values out of
+    the device cache, charged at the far cheaper
+    ``cached_value_extract`` rate regardless of layout.
+    """
+
+    def charge_extract(self, active: int) -> None:
+        self.counters.cached_values_extracted += active
+
+
 class Expr:
     """Base expression node."""
 

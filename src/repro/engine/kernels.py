@@ -235,13 +235,15 @@ class PageKernel:
     """Compiled per-page execution for one :class:`Query`."""
 
     def __init__(self, query: Query, schema: Schema, layout: Layout,
-                 hash_table: Optional[HashTable] = None):
+                 hash_table: Optional[HashTable] = None,
+                 ctx_factory: type[EvalContext] = EvalContext):
         if query.join is not None and hash_table is None:
             raise PlanError("join query needs a built hash table")
         self.query = query
         self.schema = schema
         self.layout = layout
         self.hash_table = hash_table
+        self.ctx_factory = ctx_factory
         self.needed_columns = query.probe_side_columns()
         for name in self.needed_columns:
             schema.column_index(name)  # validate early
@@ -258,7 +260,22 @@ class PageKernel:
                                  header=header)
         touched = touched_bytes(self.layout, self.schema,
                                 self.needed_columns, n)
-        ctx = EvalContext(columns, n, counters, self.layout)
+        return self._evaluate(columns, n, counters, touched)
+
+    def process_decoded(self, columns: dict[str, np.ndarray],
+                        n: int) -> PagePartial:
+        """Run the kernel over columns another scan already decoded.
+
+        The page-setup and decode work happened elsewhere (and was charged
+        there); only this query's marginal work — predicates, probes,
+        aggregates, outputs — lands in the returned partial's counters.
+        """
+        counters = WorkCounters()
+        return self._evaluate(columns, n, counters, touched=0)
+
+    def _evaluate(self, columns: dict[str, np.ndarray], n: int,
+                  counters: WorkCounters, touched: int) -> PagePartial:
+        ctx = self.ctx_factory(columns, n, counters, self.layout)
 
         # 1. Selection.
         if self.query.predicate is not None:
@@ -287,14 +304,14 @@ class PageKernel:
 
         # 2b. Post-join predicate (spans probe columns + build payload).
         if self.query.post_predicate is not None:
-            post_ctx = EvalContext(filtered, k, counters, self.layout)
+            post_ctx = self.ctx_factory(filtered, k, counters, self.layout)
             post_mask = self.query.post_predicate.evaluate(post_ctx, k)
             keep = np.nonzero(post_mask)[0]
             filtered = {name: values[keep]
                         for name, values in filtered.items()}
             k = len(keep)
 
-        out_ctx = EvalContext(filtered, k, counters, self.layout)
+        out_ctx = self.ctx_factory(filtered, k, counters, self.layout)
 
         # 3a. Projection (with optional page-local top-N truncation).
         if self.query.select:

@@ -43,6 +43,13 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Resident-count index: registered extents per device, with live
+        # counts of their cached pages. Registration scans the extent once;
+        # afterwards every insert/evict maintains the counts, so
+        # cached_fraction is O(extents-per-device) ~ O(1) amortized instead
+        # of O(extent pages) per optimizer call.
+        self._extents: dict[str, list[tuple[int, int]]] = {}
+        self._extent_counts: dict[tuple[str, int, int], int] = {}
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -75,6 +82,7 @@ class BufferPool:
             self._evict_one()
         self._frames[key] = _Frame(key=key, data=data, dirty=dirty)
         self._clock_order.append(key)
+        self._index_adjust(key, +1)
 
     def mark_dirty(self, device: str, lpn: int) -> None:
         """Flag a cached page as newer than the device copy."""
@@ -114,14 +122,34 @@ class BufferPool:
 
     def cached_fraction(self, device: str, first_lpn: int,
                         page_count: int) -> float:
-        """Fraction of an extent currently cached (optimizer input)."""
+        """Fraction of an extent currently cached (optimizer input).
+
+        The first query for an extent scans it once and registers it in
+        the resident-count index; subsequent queries — the optimizer asks
+        per placement decision, the scheduler per submission — read the
+        maintained count in O(1).
+        """
         if page_count <= 0:
             return 0.0
-        cached = sum(1 for lpn in range(first_lpn, first_lpn + page_count)
-                     if (device, lpn) in self._frames)
-        return cached / page_count
+        key = (device, first_lpn, page_count)
+        count = self._extent_counts.get(key)
+        if count is None:
+            count = sum(
+                1 for lpn in range(first_lpn, first_lpn + page_count)
+                if (device, lpn) in self._frames)
+            self._extent_counts[key] = count
+            self._extents.setdefault(device, []).append(
+                (first_lpn, page_count))
+        return count / page_count
 
     # -- internal -------------------------------------------------------------
+
+    def _index_adjust(self, key: tuple[str, int], delta: int) -> None:
+        """Maintain registered extent counts for one resident-set change."""
+        device, lpn = key
+        for first_lpn, page_count in self._extents.get(device, ()):
+            if first_lpn <= lpn < first_lpn + page_count:
+                self._extent_counts[(device, first_lpn, page_count)] += delta
 
     def _evict_one(self) -> None:
         """Clock sweep: skip pinned and dirty frames, give referenced a
@@ -150,6 +178,7 @@ class BufferPool:
             else:
                 self._clock_order.pop(self._clock_hand)
                 del self._frames[key]
+                self._index_adjust(key, -1)
                 self.evictions += 1
                 return
             swept += 1

@@ -17,7 +17,7 @@ spawns them and assembles :class:`~repro.model.report.ExecutionReport`s.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -416,6 +416,217 @@ def _close_quietly(device: SmartSsd,
         yield from device.close_session(session_id)
     except (DeviceTimeoutError, ProtocolError):
         pass
+
+
+# --------------------------------------------------------------------------
+# Shared-scan (multi-query) execution
+# --------------------------------------------------------------------------
+
+class SharedScanHandle:
+    """Host-side state of one in-flight shared-scan session.
+
+    The scheduler's leader process pumps the session
+    (:func:`execute_many`); sibling and late-attached queries rendezvous
+    on the handle: they look up the session id once :attr:`opened` fires,
+    issue ATTACH themselves, and wait for their member outcome.
+    """
+
+    def __init__(self, db: "Database", device: SmartSsd, table: Table):
+        self.db = db
+        self.device = device
+        self.table = table
+        self.session_id: Optional[int] = None
+        #: Fires once OPEN returned (value: session id).
+        self.opened = db.sim.event()
+        #: Host-side hint mirroring the device's joinability; the device
+        #: is authoritative (ATTACH races are refused there).
+        self.accepting = True
+        self.queries: dict[int, Query] = {}
+        self.results: dict[int, tuple[QueryOutcome, float]] = {}
+        self.stats: Optional[dict] = None
+        self._waiters: dict[int, Event] = {}
+        self._error: Optional[BaseException] = None
+
+    def expect(self, member: int, query: Query) -> None:
+        """Register a member the session will produce results for."""
+        self.queries[member] = query
+
+    def wait(self, member: int) -> Event:
+        """Event yielding ``(outcome, done_at)`` for one member."""
+        event = self.db.sim.event()
+        if member in self.results:
+            event.succeed(self.results[member])
+        elif self._error is not None:
+            event.fail(self._error)
+        else:
+            self._waiters[member] = event
+        return event
+
+    def resolve(self, member: int, outcome: QueryOutcome,
+                done_at: float) -> None:
+        """Record one member's outcome and wake its waiter."""
+        self.results[member] = (outcome, done_at)
+        waiter = self._waiters.pop(member, None)
+        if waiter is not None:
+            waiter.succeed((outcome, done_at))
+
+    def fail_pending(self, exc: BaseException) -> None:
+        """Fail every unresolved member wait (the session died)."""
+        self._error = exc
+        self.accepting = False
+        if not self.opened.triggered:
+            # Attachers parked on the OPEN rendezvous get the failure too.
+            self.opened.fail(exc)
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            waiter.fail(exc)
+
+
+def execute_many(db: "Database", handle: SharedScanHandle,
+                 queries: Sequence[Query],
+                 io_unit_pages: int = IO_UNIT_PAGES,
+                 window: int = PIPELINE_WINDOW,
+                 track: Optional[str] = None,
+                 ) -> Generator[Event, None, list[QueryOutcome]]:
+    """Run a batch of same-extent queries through ONE shared-scan session.
+
+    OPENs the ``shared_scan`` program with the whole batch, then
+    interleaves host-side retrieval with device rounds: every GET drains
+    per-member result chunks as the circular scan produces them, and each
+    member's rows are merged the moment its ``done`` frame arrives — while
+    the device keeps scanning for the others (and for any query that
+    ATTACHes mid-flight through ``handle``).
+
+    Returns the outcomes of the *initial* members, in ``queries`` order;
+    late-attached members are delivered through ``handle.wait``. Transient
+    device failures propagate to the caller (and to every pending member
+    waiter) — the scheduler's recovery path re-runs members solo, which
+    has its own retry/fallback ladder.
+    """
+    device = handle.device
+    table = handle.table
+    obs = db.sim.obs
+    if track is None:
+        track = f"shared-scan:{table.name}"
+
+    chunk_buffers: dict[int, list[tuple[int, list]]] = {}
+    agg_states: dict[int, AggState] = {}
+    session_id: Optional[int] = None
+    ack = 0
+    try:
+        _check_pushdown_safety(db, table)
+        for query in queries:
+            if query.join is not None:
+                raise PlanError(
+                    f"query {query.name!r} has a join; shared scans serve "
+                    "scan/aggregate queries only")
+
+        arguments: dict[str, Any] = {
+            "queries": tuple(queries),
+            "heap": table.heap,
+            "io_unit_pages": io_unit_pages,
+            "window": window,
+        }
+        open_span = NULL_SPAN if obs is None else obs.span(
+            "smart.open", track=track, device=table.device_name,
+            program="shared_scan", fan_in=len(queries))
+        with open_span:
+            session_id = yield from device.open_session(
+                OpenParams(program="shared_scan", arguments=arguments))
+            open_span.set(session=session_id)
+        handle.session_id = session_id
+        for member, query in enumerate(queries):
+            handle.expect(member, query)
+        handle.opened.succeed(session_id)
+
+        while True:
+            get_span = NULL_SPAN if obs is None else obs.span(
+                "smart.get", track=track, session=session_id, ack=ack)
+            with get_span:
+                response = yield from device.get(session_id, ack=ack)
+                get_span.set(seq=response.seq,
+                             bytes=response.payload_nbytes)
+            ack = response.seq
+            for item in response.payload:
+                tag = item[0]
+                if tag == "chunk":
+                    __, member, position, chunks = item
+                    chunk_buffers.setdefault(member, []).append(
+                        (position, chunks))
+                elif tag == "agg":
+                    __, member, state = item
+                    agg_states[member] = state
+                elif tag == "done":
+                    __, member, counters, __info = item
+                    yield from _finish_shared_member(
+                        db, handle, member, counters,
+                        chunk_buffers.pop(member, []),
+                        agg_states.pop(member, None))
+                elif tag == "stats":
+                    handle.stats = item[1]
+                else:
+                    raise ProtocolError(
+                        f"unexpected GET payload tag {tag!r}")
+            if response.status is SessionStatus.FAILED:
+                error = response.error or "unknown device error"
+                yield from _close_quietly(device, session_id)
+                if is_transient_error(error):
+                    raise ProgramCrashError(
+                        f"device program failed: {error}")
+                raise ProtocolError(f"device program failed: {error}")
+            if response.status is SessionStatus.DONE and not response.payload:
+                break
+        handle.accepting = False
+        with NULL_SPAN if obs is None else obs.span(
+                "smart.close", track=track, session=session_id):
+            yield from device.close_session(session_id)
+    except BaseException as exc:
+        handle.fail_pending(exc)
+        if session_id is not None:
+            yield from _close_quietly(device, session_id)
+        raise
+    return [handle.results[member][0] for member in range(len(queries))]
+
+
+def _finish_shared_member(db: "Database", handle: SharedScanHandle,
+                          member: int, counters: WorkCounters,
+                          chunk_entries: list[tuple[int, list]],
+                          agg_state: Optional[AggState],
+                          ) -> Generator[Event, None, None]:
+    """Merge one member's buffered results into its final outcome."""
+    query = handle.queries[member]
+    outcome = QueryOutcome(rows=None, counters=counters)
+    if query.select:
+        chunk_entries.sort(key=lambda entry: entry[0])
+        flat = [chunk for __, chunks in chunk_entries for chunk in chunks]
+        outcome.rows = _merge_select_chunks(query, flat)
+    else:
+        state = agg_state if agg_state is not None else AggState()
+        # Final merge/divide happens on the host, like the solo path.
+        yield from db.machine.compute(db.costs.page_setup)
+        outcome.rows = _finalize_aggregates(query, state)
+    handle.resolve(member, outcome, db.sim.now)
+
+
+def attach_to_shared_scan(db: "Database", handle: SharedScanHandle,
+                          query: Query,
+                          ) -> Generator[Event, None, int]:
+    """ATTACH ``query`` to an in-flight shared scan; returns its member
+    index. Raises :class:`~repro.errors.ProtocolError` when the scan is no
+    longer joinable — the caller falls back to a fresh session."""
+    if query.join is not None:
+        raise PlanError(
+            f"query {query.name!r} has a join; shared scans serve "
+            "scan/aggregate queries only")
+    if handle.session_id is None:
+        yield handle.opened
+    if not handle.accepting:
+        raise ProtocolError(
+            f"shared scan on {handle.table.name!r} already complete")
+    member = yield from handle.device.attach_session(handle.session_id,
+                                                     query)
+    handle.expect(member, query)
+    return member
 
 
 def _check_pushdown_safety(db: "Database", table: Table) -> None:

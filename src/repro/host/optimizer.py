@@ -141,9 +141,39 @@ def _result_nbytes(db: "Database", query: Query, selectivity: float) -> int:
     return survivors * width
 
 
+def marginal_shared_counters(counters: WorkCounters) -> WorkCounters:
+    """Project a query's counters onto a shared scan's *marginal* cost.
+
+    When the query rides an already-paid-for scan, page setup, I/O units,
+    and cold column extraction are charged to the stream; the rider pays
+    only its predicates, aggregates, outputs — and cheap cached re-reads of
+    the values a co-rider already materialized.
+    """
+    marginal = WorkCounters()
+    marginal.add(counters)
+    marginal.cached_values_extracted += (marginal.pax_values_extracted
+                                         + marginal.nsm_values_extracted)
+    marginal.pax_values_extracted = 0
+    marginal.nsm_values_extracted = 0
+    marginal.pages_parsed = 0
+    marginal.nsm_tuples_parsed = 0
+    marginal.io_units = 0
+    return marginal
+
+
 def choose_placement(db: "Database", query: Query,
-                     sample_pages: int = SAMPLE_PAGES) -> PlacementDecision:
-    """Pick the cheaper feasible placement for ``query``."""
+                     sample_pages: int = SAMPLE_PAGES,
+                     shared_riders: int = 0) -> PlacementDecision:
+    """Pick the cheaper feasible placement for ``query``.
+
+    ``shared_riders`` is the number of concurrently admitted queries the
+    scheduler would co-schedule on the same extent scan. When positive (and
+    the query is shareable), the pushdown side is priced at its *marginal*
+    cost — the scan's NAND traffic, DRAM crossings, and decode work are
+    already paid for by the shared stream — which makes pushdown win in
+    almost every shared configuration (§4.3's concurrency concern turned
+    into an opportunity).
+    """
     table = db.catalog.table(query.table)
     device = db.device(table.device_name)
     selectivity = estimate_selectivity(db, query, sample_pages)
@@ -190,6 +220,28 @@ def choose_placement(db: "Database", query: Query,
             return PlacementDecision(
                 "host", f"dirty cached pages of {t.name!r} make pushdown "
                         "unsafe", host_estimate, None, selectivity)
+
+    shared = shared_riders > 0 and query.join is None
+    if shared:
+        device_cycles = db.costs.cycles(marginal_shared_counters(counters))
+        result_nbytes = _result_nbytes(db, query, selectivity)
+        smart_job = ScanJobModel(data_nbytes=0, touched_nbytes=0,
+                                 result_nbytes=result_nbytes,
+                                 device_raw_cycles=device_cycles,
+                                 host_raw_cycles=host_cycles)
+        smart_estimate = smart_scan_times(smart_job, device.spec,
+                                          device.cpu_spec).elapsed
+        if smart_estimate < host_estimate:
+            return PlacementDecision(
+                "smart",
+                f"joins a shared scan with {shared_riders} rider(s); "
+                f"marginal pushdown cost estimated "
+                f"{host_estimate / smart_estimate:.2f}x cheaper",
+                host_estimate, smart_estimate, selectivity)
+        return PlacementDecision(
+            "host",
+            "conventional path beats even the shared-scan marginal cost",
+            host_estimate, smart_estimate, selectivity)
 
     device_cycles = db.costs.cycles(
         counters,

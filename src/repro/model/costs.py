@@ -36,6 +36,9 @@ class CycleCosts:
     nsm_tuple_parse: int = 11       # slot lookup + record-header walk
     nsm_value_extract: int = 8      # strided field fetch inside a record
     pax_value_extract: int = 4      # sequential minipage array access
+    cached_value_extract: int = 1   # re-read of a value a concurrent shared
+    #                                 scan already pulled into the device
+    #                                 cache (the scan-sharing dividend)
     predicate_eval: int = 7        # compare + branch
     like_eval: int = 30             # LIKE 'prefix%' over a char column
     arithmetic_op: int = 6          # one arithmetic node per tuple
@@ -72,6 +75,7 @@ class CycleCosts:
             + counters.nsm_tuples_parsed * self.nsm_tuple_parse
             + counters.nsm_values_extracted * self.nsm_value_extract
             + counters.pax_values_extracted * self.pax_value_extract
+            + counters.cached_values_extracted * self.cached_value_extract
             + counters.predicates_evaluated * self.predicate_eval
             + counters.like_evaluated * self.like_eval
             + counters.arithmetic_ops * self.arithmetic_op

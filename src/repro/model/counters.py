@@ -24,6 +24,8 @@ class WorkCounters:
     nsm_tuples_parsed: int = 0      # record headers walked in NSM pages
     nsm_values_extracted: int = 0   # field fetches from NSM records
     pax_values_extracted: int = 0   # values read from PAX minipages
+    cached_values_extracted: int = 0  # re-reads of values a shared scan
+    #                                   already materialized (cache hits)
     predicates_evaluated: int = 0   # comparison predicates, post short-circuit
     like_evaluated: int = 0         # LIKE 'prefix%' string compares
     arithmetic_ops: int = 0         # arithmetic expression nodes evaluated
@@ -42,6 +44,12 @@ class WorkCounters:
     session_retries: int = 0        # OPEN/GET/CLOSE sessions re-established
     device_program_crashes: int = 0  # sessions that ended FAILED
     pushdown_fallbacks: int = 0     # pushdown queries degraded to host scan
+
+    # Scheduler events (not priced — they describe *how* a query ran, not
+    # work performed; shared-scan savings show up as the work that is
+    # absent from these counters).
+    shared_scans_joined: int = 0    # ran as a member of a shared device scan
+    shared_scan_late_attaches: int = 0  # joined a scan already in progress
 
     def add(self, other: "WorkCounters") -> None:
         """Accumulate another counter set into this one."""

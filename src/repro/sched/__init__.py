@@ -1,0 +1,16 @@
+"""Concurrent query scheduling: admission control + cooperative scan
+sharing (see :mod:`repro.sched.scheduler` and ``docs/SCHEDULER.md``)."""
+
+from repro.sched.scheduler import (
+    AdmissionPolicy,
+    QueryScheduler,
+    SchedulerConfig,
+    Submission,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "QueryScheduler",
+    "SchedulerConfig",
+    "Submission",
+]

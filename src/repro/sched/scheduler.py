@@ -1,0 +1,554 @@
+"""The concurrent query scheduler (admission control + scan sharing).
+
+:class:`QueryScheduler` turns the paper's §4.3 concurrency concern — "the
+impact of concurrent queries on the performance of the Smart SSD" — into a
+managed resource. Submissions queue through per-device **admission
+control** (a bounded number of in-flight executions per device, granted
+FIFO or shortest-extent-first), and concurrently admitted queries over the
+same table extent are fused into ONE device-side shared scan
+(:mod:`repro.smart.programs.shared`): the extent crosses NAND and the DRAM
+bus once, pages are decoded once, and each query pays only its marginal
+predicate/aggregate work. Queries arriving while a compatible scan is
+mid-extent ATTACH to it and pick the scan up in place.
+
+The scheduler is deliberately a *planner plus pump*, not a policy engine:
+``submit()`` only records the submission (with a virtual arrival time);
+``gather()`` plans the shared groups, spawns one simulation process per
+execution unit, runs the world to completion, and assembles one
+:class:`~repro.model.report.ExecutionReport` per submission in submission
+order — the same accounting window shape as
+:meth:`~repro.host.db.Database.execute_concurrent`.
+
+Fairness caveats are documented in ``docs/SCHEDULER.md``: late attachers
+bypass admission control (they add marginal work to an already-admitted
+scan rather than a new device session), and shared members' counters are
+marginal-only (the shared stream's work lives on the device session and
+the observability metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.engine.plans import Placement, Query
+from repro.errors import (
+    DeviceTimeoutError,
+    PlanError,
+    ProgramCrashError,
+    ProtocolError,
+)
+from repro.host.executor import (
+    QueryOutcome,
+    SharedScanHandle,
+    attach_to_shared_scan,
+    execute_many,
+    host_query_process,
+    smart_query_process,
+)
+from repro.model.report import ExecutionReport
+from repro.sim import Resource
+from repro.smart.device import SmartSsd
+
+if TYPE_CHECKING:
+    from repro.host.db import Database
+
+#: Exceptions after which a shared-scan member is re-run solo (the solo
+#: ladder has its own retry/host-fallback recovery).
+_RESCUE_ERRORS = (ProgramCrashError, DeviceTimeoutError, ProtocolError,
+                  PlanError)
+
+
+class AdmissionPolicy(Enum):
+    """Order in which queued submissions are admitted to a device."""
+
+    FIFO = "fifo"
+    SHORTEST_EXTENT_FIRST = "sef"
+
+    @classmethod
+    def coerce(cls, value: Union["AdmissionPolicy", str]) -> "AdmissionPolicy":
+        """Accept the enum or its wire string."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise PlanError(
+                f"unknown admission policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}") from None
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of one :class:`QueryScheduler`."""
+
+    #: Concurrent executions admitted per device; a shared scan counts as
+    #: one however many queries ride it. The default matches the device
+    #: runtime's session cap.
+    max_inflight_per_device: int = 4
+    policy: AdmissionPolicy = AdmissionPolicy.FIFO
+    #: Fuse concurrently admitted same-extent queries into one scan.
+    share_scans: bool = True
+    #: Overrides for the device pipeline shape (None: program defaults).
+    io_unit_pages: Optional[int] = None
+    window: Optional[int] = None
+
+
+@dataclass
+class Submission:
+    """One submitted query: the ticket :meth:`QueryScheduler.submit` returns."""
+
+    index: int
+    query: Query
+    placement: Placement
+    arrival: float
+    # Filled in by gather():
+    resolved: Optional[Placement] = None
+    outcome: Optional[QueryOutcome] = None
+    done_at: Optional[float] = None
+    shared: bool = False          # served by a multi-query scan
+    late_attach: bool = False     # joined an in-flight scan via ATTACH
+    rescued: bool = False         # shared scan died; re-run solo
+    admission_wait: float = 0.0   # virtual seconds queued for admission
+
+
+class QueryScheduler:
+    """Multi-query scheduler over one :class:`~repro.host.db.Database`."""
+
+    def __init__(self, db: "Database",
+                 config: Optional[SchedulerConfig] = None):
+        self.db = db
+        self.config = config or SchedulerConfig()
+        self.submissions: list[Submission] = []
+        #: Accounting of the most recent :meth:`gather` run.
+        self.stats: dict = {}
+        # Live shared scans, keyed by (device, table): ATTACH targets.
+        self._live: dict[tuple[str, str], SharedScanHandle] = {}
+        self._admission: dict[str, Resource] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, query: Query,
+               placement: Union[Placement, str] = Placement.SMART,
+               at: float = 0.0) -> Submission:
+        """Enqueue a query; ``at`` is its arrival offset in virtual seconds.
+
+        Nothing runs until :meth:`gather`; the returned ticket is filled in
+        by the run.
+        """
+        if not isinstance(query, Query):
+            raise PlanError(
+                f"submit takes a Query, got {type(query).__name__}")
+        if at < 0:
+            raise PlanError(f"negative arrival offset: {at}")
+        self.db.catalog.table(query.table)  # validate early
+        submission = Submission(index=len(self.submissions), query=query,
+                                placement=Placement.coerce(placement),
+                                arrival=float(at))
+        self.submissions.append(submission)
+        return submission
+
+    # -- the run -----------------------------------------------------------
+
+    def gather(self) -> list[ExecutionReport]:
+        """Run every pending submission to completion; reports in order."""
+        submissions, self.submissions = self.submissions, []
+        if not submissions:
+            return []
+        self.stats = {
+            "submitted": len(submissions),
+            "shared_groups": 0,
+            "shared_members": 0,
+            "late_attaches": 0,
+            "solo_rescues": 0,
+            "saved_page_reads": 0,
+            "shared_pages_read": 0,
+            "fan_in": [],
+            "admission_waits": [],
+            "max_queue_depth": {},
+            "solo_fast_path": 0,
+        }
+        if len(submissions) == 1 and submissions[0].arrival == 0.0:
+            # Solo fast path: a single immediate submission goes through
+            # the canonical single-query entry point, so its report is
+            # bit-identical to Database.execute_placed.
+            self.stats["solo_fast_path"] = 1
+            submission = submissions[0]
+            report = self.db.execute_placed(
+                submission.query, submission.placement,
+                io_unit_pages=self.config.io_unit_pages,
+                window=self.config.window)
+            submission.resolved = Placement.coerce(report.placement)
+            submission.done_at = self.db.sim.now
+            self.stats["window_seconds"] = report.elapsed_seconds
+            return [report]
+        return self._run(submissions)
+
+    # -- planning ----------------------------------------------------------
+
+    def _extent_key(self, submission: Submission) -> tuple[str, str]:
+        table = self.db.catalog.table(submission.query.table)
+        return (table.device_name, table.name)
+
+    def _shareable(self, submission: Submission) -> bool:
+        if not self.config.share_scans:
+            return False
+        if submission.placement not in (Placement.SMART, Placement.AUTO):
+            return False
+        if submission.query.join is not None:
+            return False
+        table = self.db.catalog.table(submission.query.table)
+        return isinstance(self.db.device(table.device_name), SmartSsd)
+
+    def _plan(self, submissions: list[Submission]
+              ) -> list[tuple[str, list[Submission]]]:
+        """Group submissions into execution units.
+
+        Returns ``(kind, members)`` units — ``"shared"`` units hold the
+        co-arriving same-extent cliques (singletons included: they run a
+        one-member shared scan, which keeps them joinable by later
+        arrivals); ``"solo"`` units are everything else — ordered by
+        (arrival, admission-policy key, submission index). Spawn order IS
+        admission order: same-instant admission requests are granted in
+        request order.
+        """
+        from repro.host.optimizer import choose_placement
+
+        for submission in submissions:
+            submission.resolved = submission.placement
+
+        cliques: dict[tuple, list[Submission]] = {}
+        for submission in submissions:
+            if self._shareable(submission):
+                key = (self._extent_key(submission), submission.arrival)
+                cliques.setdefault(key, []).append(submission)
+
+        for submission in submissions:
+            if submission.placement is not Placement.AUTO:
+                continue
+            key = (self._extent_key(submission), submission.arrival)
+            group = cliques.get(key, [])
+            riders = len(group) - 1 if submission in group else 0
+            decision = choose_placement(self.db, submission.query,
+                                        shared_riders=max(0, riders))
+            submission.resolved = Placement.coerce(decision.placement)
+            if submission.resolved is not Placement.SMART \
+                    and submission in group:
+                group.remove(submission)
+
+        units: list[tuple[str, list[Submission]]] = []
+        grouped: set[int] = set()
+        for group in cliques.values():
+            if group:
+                units.append(("shared", group))
+                grouped.update(s.index for s in group)
+        for submission in submissions:
+            if submission.index not in grouped:
+                units.append(("solo", [submission]))
+
+        def policy_key(unit: tuple[str, list[Submission]]):
+            members = unit[1]
+            arrival = members[0].arrival
+            first = min(s.index for s in members)
+            if self.config.policy is AdmissionPolicy.SHORTEST_EXTENT_FIRST:
+                pages = self.db.catalog.table(
+                    members[0].query.table).page_count
+                return (arrival, pages, first)
+            return (arrival, 0, first)
+
+        units.sort(key=policy_key)
+        return units
+
+    # -- simulation processes ---------------------------------------------
+
+    def _unit_kwargs(self) -> dict:
+        kwargs = {}
+        if self.config.io_unit_pages is not None:
+            kwargs["io_unit_pages"] = self.config.io_unit_pages
+        if self.config.window is not None:
+            kwargs["window"] = self.config.window
+        return kwargs
+
+    def _admit(self, device_name: str, track: str):
+        """Acquire one in-flight slot on a device (a sim sub-process)."""
+        sim = self.db.sim
+        obs = sim.obs
+        gate = self._admission[device_name]
+        queued = sim.now
+        depth = gate.queue_length + (1 if gate.in_use >= gate.capacity
+                                     else 0)
+        peak = self.stats["max_queue_depth"]
+        peak[device_name] = max(peak.get(device_name, 0), depth)
+        span = None
+        if obs is not None:
+            obs.metrics.gauge("sched.queue_depth",
+                              device=device_name).set(depth)
+            span = obs.span("sched.queued", track=track,
+                            device=device_name).__enter__()
+        yield gate.request()
+        wait = sim.now - queued
+        self.stats["admission_waits"].append(wait)
+        if obs is not None:
+            span.set(wait_seconds=wait).finish()
+            obs.metrics.histogram("sched.admission_wait_seconds",
+                                  device=device_name).observe(wait)
+            obs.metrics.gauge("sched.queue_depth",
+                              device=device_name).set(gate.queue_length)
+        return wait
+
+    def _record(self, submission: Submission, outcome: QueryOutcome,
+                done_at: float) -> None:
+        submission.outcome = outcome
+        submission.done_at = done_at
+
+    def _solo_rescue(self, submission: Submission, track: str,
+                     admitted: bool = True):
+        """Re-run a shared-scan member solo after its session died.
+
+        The solo smart ladder retries transient failures and falls back to
+        the host path by itself; deterministic pushdown vetoes go straight
+        to the host path. ``admitted`` says whether the caller already
+        holds an admission slot for the device (shared-session leaders do;
+        failed late attachers do not).
+        """
+        self.stats["solo_rescues"] += 1
+        submission.rescued = True
+        device_name = self._extent_key(submission)[0]
+        if not admitted:
+            yield from self._admit(device_name, track)
+        try:
+            try:
+                outcome = yield from smart_query_process(
+                    self.db, submission.query, track=track,
+                    **self._unit_kwargs())
+            except PlanError:
+                outcome = yield from host_query_process(
+                    self.db, submission.query, track=track,
+                    **self._unit_kwargs())
+        finally:
+            if not admitted:
+                self._admission[device_name].release()
+        self._record(submission, outcome, self.db.sim.now)
+
+    def _track(self, submission: Submission) -> str:
+        return f"query:{submission.query.name}#{submission.index}"
+
+    def _shared_unit(self, group: list[Submission]):
+        """Leader process of one co-arriving same-extent clique."""
+        db = self.db
+        sim = db.sim
+        obs = sim.obs
+        key = self._extent_key(group[0])
+        device_name = key[0]
+        arrival = group[0].arrival
+        if arrival:
+            yield sim.timeout(arrival)
+        roots = {}
+        if obs is not None:
+            for submission in group:
+                roots[submission.index] = obs.span(
+                    "query", track=self._track(submission),
+                    query=submission.query.name, placement="smart",
+                    index=submission.index, scheduled=True).__enter__()
+        try:
+            # A compatible scan already mid-extent? Join it instead of
+            # opening a second stream over the same pages. Attachers add
+            # marginal work to an already-admitted scan, so they bypass
+            # admission control (see docs/SCHEDULER.md for the fairness
+            # trade-off).
+            live = self._live.get(key)
+            remaining = group
+            if live is not None and live.accepting:
+                remaining = []
+                attached: list[tuple[Submission, int]] = []
+                for submission in group:
+                    try:
+                        member = yield from attach_to_shared_scan(
+                            db, live, submission.query)
+                    except _RESCUE_ERRORS:
+                        remaining.append(submission)
+                        continue
+                    submission.shared = True
+                    submission.late_attach = True
+                    self.stats["late_attaches"] += 1
+                    if obs is not None:
+                        obs.metrics.counter("sched.late_attaches").inc()
+                    attached.append((submission, member))
+                for submission, member in attached:
+                    try:
+                        outcome, done_at = yield live.wait(member)
+                    except _RESCUE_ERRORS:
+                        yield from self._solo_rescue(
+                            submission, self._track(submission),
+                            admitted=False)
+                        continue
+                    self._record(submission, outcome, done_at)
+                if not remaining:
+                    return
+            # Fresh shared session for whoever could not attach.
+            wait = yield from self._admit(device_name,
+                                          self._track(remaining[0]))
+            for submission in remaining:
+                submission.admission_wait = wait
+            table = db.catalog.table(remaining[0].query.table)
+            handle = SharedScanHandle(db, db.device(device_name), table)
+            self._live[key] = handle
+            try:
+                try:
+                    outcomes = yield from execute_many(
+                        db, handle, [s.query for s in remaining],
+                        track=f"shared-scan:{table.name}"
+                              f"#{remaining[0].index}",
+                        **self._unit_kwargs())
+                finally:
+                    if self._live.get(key) is handle:
+                        del self._live[key]
+                for member, (submission, outcome) in enumerate(
+                        zip(remaining, outcomes)):
+                    submission.shared = len(handle.queries) > 1
+                    self._record(submission, outcome,
+                                 handle.results[member][1])
+                if handle.stats is not None:
+                    self._absorb_scan_stats(handle.stats)
+            except _RESCUE_ERRORS:
+                # Members the scan resolved before dying keep their
+                # results; the rest re-run solo (inside our admission
+                # slot — the device session is gone, the slot is not).
+                rescued = []
+                for member, submission in enumerate(remaining):
+                    if member in handle.results:
+                        outcome, done_at = handle.results[member]
+                        submission.shared = len(handle.queries) > 1
+                        self._record(submission, outcome, done_at)
+                    else:
+                        rescued.append(sim.process(
+                            self._solo_rescue(submission,
+                                              self._track(submission)),
+                            name=f"sched-rescue-{submission.index}"))
+                if rescued:
+                    yield sim.all_of(rescued)
+            finally:
+                self._admission[device_name].release()
+        finally:
+            if obs is not None:
+                for submission in group:
+                    roots[submission.index].set(
+                        shared=submission.shared,
+                        late_attach=submission.late_attach,
+                        rescued=submission.rescued).finish()
+
+    def _solo_unit(self, submission: Submission):
+        """Process of one non-shareable submission (host or solo smart)."""
+        db = self.db
+        sim = db.sim
+        obs = sim.obs
+        table = db.catalog.table(submission.query.table)
+        if submission.arrival:
+            yield sim.timeout(submission.arrival)
+        track = self._track(submission)
+        root = None
+        if obs is not None:
+            root = obs.span("query", track=track,
+                            query=submission.query.name,
+                            placement=submission.resolved.value,
+                            index=submission.index,
+                            scheduled=True).__enter__()
+        try:
+            submission.admission_wait = yield from self._admit(
+                table.device_name, track)
+            try:
+                if submission.resolved is Placement.HOST:
+                    outcome = yield from host_query_process(
+                        db, submission.query, track=track,
+                        **self._unit_kwargs())
+                else:
+                    outcome = yield from smart_query_process(
+                        db, submission.query, track=track,
+                        **self._unit_kwargs())
+            finally:
+                self._admission[table.device_name].release()
+            self._record(submission, outcome, sim.now)
+        finally:
+            if root is not None:
+                root.finish()
+
+    def _absorb_scan_stats(self, scan_stats: dict) -> None:
+        obs = self.db.sim.obs
+        self.stats["shared_groups"] += 1
+        self.stats["shared_members"] += scan_stats.get("fan_in", 0)
+        self.stats["fan_in"].append(scan_stats.get("fan_in", 0))
+        self.stats["saved_page_reads"] += scan_stats.get(
+            "saved_page_reads", 0)
+        self.stats["shared_pages_read"] += scan_stats.get("pages_read", 0)
+        if obs is not None:
+            obs.metrics.histogram("sched.fan_in").observe(
+                scan_stats.get("fan_in", 0))
+            obs.metrics.counter("sched.saved_page_reads").inc(
+                scan_stats.get("saved_page_reads", 0))
+
+    # -- window accounting -------------------------------------------------
+
+    def _run(self, submissions: list[Submission]) -> list[ExecutionReport]:
+        db = self.db
+        sim = db.sim
+        obs = sim.obs
+        units = self._plan(submissions)
+        self._admission = {
+            name: Resource(sim, self.config.max_inflight_per_device,
+                           name=f"sched-admission-{name}")
+            for name in db.device_names()
+        }
+        self._live = {}
+
+        spans_before = len(obs.spans) if obs is not None else 0
+        start = sim.now
+        snapshots = {name: db._busy_snapshot(device)
+                     for name, device in db._devices.items()}
+        host_cpu_before = db.machine.cpu_core_seconds()
+
+        procs = []
+        for kind, members in units:
+            if kind == "shared":
+                procs.append(sim.process(
+                    self._shared_unit(members),
+                    name=f"sched-shared-{members[0].index}"))
+            else:
+                procs.append(sim.process(
+                    self._solo_unit(members[0]),
+                    name=f"sched-solo-{members[0].index}"))
+        gate = sim.all_of(procs)
+        sim.run()
+        if not gate.triggered:
+            raise PlanError("scheduled batch deadlocked")
+        if not gate.ok:
+            raise gate.value
+
+        window = sim.now - start
+        host_cpu = db.machine.cpu_core_seconds() - host_cpu_before
+        activities = [db._device_activity(device, snapshots[name])
+                      for name, device in db._devices.items()]
+        energy = db.energy_meter.measure(window, host_cpu, activities)
+        self.stats["window_seconds"] = window
+
+        profile = obs.profile(spans_before) if obs is not None else None
+        reports = []
+        for submission in submissions:
+            table = db.catalog.table(submission.query.table)
+            report = ExecutionReport(
+                rows=submission.outcome.rows,
+                elapsed_seconds=(submission.done_at - start
+                                 - submission.arrival),
+                placement=submission.resolved.value,
+                device_name=table.device_name,
+                layout=table.layout.value,
+                counters=submission.outcome.counters,
+                energy=energy,
+                host_cpu_core_seconds=host_cpu,
+                profile=profile,
+            )
+            if obs is not None:
+                db._absorb_metrics(obs, submission.query,
+                                   submission.resolved, report)
+            reports.append(report)
+        return reports

@@ -20,13 +20,14 @@ from repro.flash.ssd import DevicePower, Ssd, SsdSpec
 from repro.model.costs import DEFAULT_COSTS, DEVICE_CPU, CpuSpec, CycleCosts
 from repro.sim import Event, Resource, Simulator, seize
 from repro.smart.protocol import (
+    ATTACH_FRAME_NBYTES,
     COMMAND_FRAME_NBYTES,
     GET_FRAME_NBYTES,
     GetResponse,
     OpenParams,
     SessionStatus,
 )
-from repro.smart.programs import ProgramArguments, default_programs
+from repro.smart.programs import default_programs
 from repro.smart.runtime import SmartRuntime
 
 
@@ -94,10 +95,36 @@ class SmartSsd(Ssd):
             self._interface_span("interface.command", COMMAND_FRAME_NBYTES))
         session = self.runtime.open(params)
         program = self.runtime.program(params.program)
-        args = ProgramArguments.from_open(params.arguments)
+        args = program.decode_arguments(params.arguments)
         self.sim.process(program.run(self, session, args),
                          name=f"{self.spec.name}-session-{session.id}")
         return session.id
+
+    def attach_session(self, session_id: int, query
+                       ) -> Generator[Event, None, int]:
+        """ATTACH: join a query to a running shared scan; returns its
+        member index within the session.
+
+        Raises :class:`~repro.errors.ProtocolError` when the session is
+        unknown, its program does not accept attaches, or the scan already
+        finished dispatching — the host then falls back to a fresh OPEN.
+        """
+        yield from self._check_alive("attach")
+        yield from self._maybe_slow("attach")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.counter("protocol.commands", kind="attach",
+                                device=self.spec.name).inc()
+        yield from self.interface.transfer(
+            ATTACH_FRAME_NBYTES,
+            self._interface_span("interface.command", ATTACH_FRAME_NBYTES))
+        session = self.runtime.session(session_id)
+        member = session.attach(query)
+        if self.sim.tracer is not None:
+            self.sim.tracer.mark(self.sim.now, "scan-attach",
+                                 f"{self.spec.name} session={session_id} "
+                                 f"member={member}")
+        return member
 
     def get(self, session_id: int, ack: Optional[int] = None
             ) -> Generator[Event, None, GetResponse]:

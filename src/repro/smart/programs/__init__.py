@@ -5,6 +5,9 @@ with join queries" (§4.1.2). Each program validates that an OPEN request
 matches its shape, then runs the shared in-device execution engine
 (:mod:`repro.smart.programs.base`), which streams heap pages from flash,
 runs the page kernels on the device CPU, and stages results for GET.
+The shared-scan program (:mod:`repro.smart.programs.shared`) extends the
+set with a multi-query circular scan that serves the host scheduler's
+cooperative scan sharing.
 """
 
 from repro.smart.programs.base import (
@@ -16,11 +19,16 @@ from repro.smart.programs.base import (
 from repro.smart.programs.scan import ScanFilterProgram
 from repro.smart.programs.aggregate import AggregateProgram
 from repro.smart.programs.join import HashJoinProgram
+from repro.smart.programs.shared import (
+    SharedScanArguments,
+    SharedScanProgram,
+)
 
 
 def default_programs() -> list[DeviceProgram]:
     """The standard program set flashed onto every Smart SSD."""
-    return [ScanFilterProgram(), AggregateProgram(), HashJoinProgram()]
+    return [ScanFilterProgram(), AggregateProgram(), HashJoinProgram(),
+            SharedScanProgram()]
 
 
 __all__ = [
@@ -31,5 +39,7 @@ __all__ = [
     "PIPELINE_WINDOW",
     "ProgramArguments",
     "ScanFilterProgram",
+    "SharedScanArguments",
+    "SharedScanProgram",
     "default_programs",
 ]

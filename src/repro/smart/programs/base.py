@@ -88,6 +88,14 @@ class DeviceProgram:
     #: Program name used in OPEN commands.
     name = "abstract"
 
+    def decode_arguments(self, arguments: dict) -> ProgramArguments:
+        """Decode an OPEN command's argument dict for this program.
+
+        The default single-query shape; programs with a different OPEN
+        contract (the shared scan takes a query *list*) override this.
+        """
+        return ProgramArguments.from_open(arguments)
+
     def validate(self, args: ProgramArguments) -> None:
         """Reject OPEN requests whose query shape this program can't run."""
         raise NotImplementedError

@@ -22,11 +22,17 @@ from repro.errors import ProtocolError
 
 
 class CommandKind(enum.Enum):
-    """The three protocol commands."""
+    """The protocol commands.
+
+    ATTACH is the scan-sharing extension: it adds a query to a running
+    ``shared_scan`` session so an in-progress circular scan serves it too,
+    instead of opening a second session that would re-read the same extent.
+    """
 
     OPEN = "open"
     GET = "get"
     CLOSE = "close"
+    ATTACH = "attach"
 
 
 class SessionStatus(enum.Enum):
@@ -75,6 +81,9 @@ COMMAND_FRAME_NBYTES = 4096
 
 #: Fixed part of each GET reply (status block) before the result payload.
 GET_FRAME_NBYTES = 512
+
+#: Size of an ATTACH command frame (command block + one serialized query).
+ATTACH_FRAME_NBYTES = 2048
 
 
 class SessionIdAllocator:

@@ -39,6 +39,10 @@ class Session:
     grants: list[int] = field(default_factory=list)
     counters: WorkCounters = field(default_factory=WorkCounters)
     reply_seq: int = 0
+    #: Set by programs that accept mid-flight ATTACH commands (shared
+    #: scans): called with the new query, returns the member index, raises
+    #: :class:`~repro.errors.ProtocolError` when no longer joinable.
+    attach_hook: Optional[Any] = None
     _last_reply: Optional[tuple[int, list[Any], int]] = None
     _waiters: list[Event] = field(default_factory=list)
 
@@ -54,6 +58,23 @@ class Session:
         """Mark the program complete."""
         self.status = SessionStatus.DONE
         self._wake()
+
+    def attach(self, query: Any) -> int:
+        """Add a query to the running program (ATTACH); returns its index.
+
+        Only programs that registered an ``attach_hook`` (shared scans)
+        accept this, and only while still RUNNING — an ATTACH that loses
+        the race against scan completion is a protocol error the host
+        recovers from by opening a fresh session.
+        """
+        if self.status is not SessionStatus.RUNNING:
+            raise ProtocolError(
+                f"session {self.id} is {self.status.value}; not joinable")
+        if self.attach_hook is None:
+            raise ProtocolError(
+                f"session {self.id} program "
+                f"{self.params.program!r} does not accept ATTACH")
+        return self.attach_hook(query)
 
     def fail(self, error: str) -> None:
         """Mark the program failed; GET will surface the error."""

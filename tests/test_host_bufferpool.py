@@ -152,3 +152,117 @@ class TestCachedFraction:
         assert bp.cached_fraction("d", 0, 8) == pytest.approx(0.5)
         assert bp.cached_fraction("d", 4, 4) == 0.0
         assert bp.cached_fraction("d", 0, 0) == 0.0
+
+    def brute_force(self, bp, device, first_lpn, page_count):
+        return sum(1 for lpn in range(first_lpn, first_lpn + page_count)
+                   if bp.contains(device, lpn)) / page_count
+
+    def test_index_matches_brute_force_under_churn(self):
+        """The O(1) resident-count index stays exact through insert/evict
+        churn after the extent is registered."""
+        import random
+        rng = random.Random(11)
+        bp = pool(frames=6)
+        extent = ("d", 0, 16)
+        bp.cached_fraction(*extent)  # register while empty
+        for __ in range(300):
+            lpn = rng.randrange(0, 20)  # some lpns fall outside the extent
+            bp.insert("d", lpn, page(lpn))
+            assert bp.cached_fraction(*extent) == pytest.approx(
+                self.brute_force(bp, *extent))
+
+    def test_index_tracks_eviction(self):
+        bp = pool(frames=2)
+        bp.cached_fraction("d", 0, 4)
+        bp.insert("d", 0, page(0))
+        bp.insert("d", 1, page(1))
+        assert bp.cached_fraction("d", 0, 4) == pytest.approx(0.5)
+        bp.insert("d", 2, page(2))  # evicts one of lpn 0/1
+        bp.insert("d", 3, page(3))  # evicts the other
+        assert bp.cached_fraction("d", 0, 4) == pytest.approx(
+            self.brute_force(bp, "d", 0, 4))
+
+    def test_overlapping_extents_both_maintained(self):
+        bp = pool(frames=8)
+        bp.cached_fraction("d", 0, 4)
+        bp.cached_fraction("d", 2, 4)
+        for lpn in (2, 3):  # in both extents
+            bp.insert("d", lpn, page(lpn))
+        assert bp.cached_fraction("d", 0, 4) == pytest.approx(0.5)
+        assert bp.cached_fraction("d", 2, 4) == pytest.approx(0.5)
+
+    def test_reinsert_does_not_double_count(self):
+        bp = pool(frames=8)
+        bp.cached_fraction("d", 0, 4)
+        bp.insert("d", 1, page(1))
+        bp.insert("d", 1, page(2))  # update in place, not a new frame
+        assert bp.cached_fraction("d", 0, 4) == pytest.approx(0.25)
+
+
+class TestConcurrentSessions:
+    """Two sessions interleave on one pool: pins and dirty flags from one
+    must survive eviction pressure generated by the other."""
+
+    def test_pinned_page_survives_other_sessions_pressure(self):
+        bp = pool(frames=3)
+        bp.insert("d", 0, page(0))
+        bp.pin("d", 0)          # session A holds lpn 0
+        for lpn in range(10, 20):  # session B churns the pool
+            bp.insert("d", lpn, page(lpn))
+        assert bp.contains("d", 0)
+        bp.unpin("d", 0)
+        for lpn in range(20, 30):
+            bp.insert("d", lpn, page(lpn))
+        assert not bp.contains("d", 0)
+
+    def test_dirty_page_survives_other_sessions_pressure(self):
+        bp = pool(frames=3)
+        bp.insert("d", 0, page(0), dirty=True)
+        for lpn in range(10, 20):
+            bp.insert("d", lpn, page(lpn))
+        assert bp.contains("d", 0)
+        assert bp.dirty_lpns("d") == {0}
+        bp.flush("d", 0)        # checkpointer writes it back...
+        for lpn in range(20, 30):
+            bp.insert("d", lpn, page(lpn))
+        assert not bp.contains("d", 0)  # ...now it is evictable
+
+    def test_interleaved_pins_and_dirty_fill_pool(self):
+        bp = pool(frames=4)
+        bp.insert("a", 0, page(0))
+        bp.pin("a", 0)
+        bp.insert("b", 0, page(1), dirty=True)
+        bp.insert("a", 1, page(2))
+        bp.pin("a", 1)
+        bp.insert("b", 1, page(3), dirty=True)
+        # Every frame is pinned or dirty: the next insert cannot evict.
+        with pytest.raises(BufferPoolError, match="pinned or dirty"):
+            bp.insert("a", 2, page(4))
+
+    def test_scheduled_host_queries_share_the_pool(self):
+        """Two host-placed queries through the scheduler: the second run's
+        extent is resident after the first populates the pool."""
+        import numpy as np
+
+        from repro.host.db import Database
+        from repro.sched import QueryScheduler
+        from repro.engine import AggSpec, Query
+        from repro.storage import Column, Int32Type, Layout, Schema
+
+        schema = Schema([Column("x", Int32Type())])
+        db = Database()
+        db.create_smart_ssd()
+        rows = np.empty(4000, dtype=schema.numpy_dtype())
+        rows["x"] = np.arange(4000)
+        db.create_table("t", schema, Layout.PAX, rows, "smart-ssd")
+        table = db.catalog.table("t")
+
+        scheduler = QueryScheduler(db)
+        query = Query(table="t", aggregates=(AggSpec("count", None, "n"),))
+        scheduler.submit(query, "host")
+        scheduler.submit(query, "host")
+        reports = scheduler.gather()
+        assert all(r.rows[0]["n"] == 4000 for r in reports)
+        assert db.buffer_pool.cached_fraction(
+            "smart-ssd", table.heap.first_lpn,
+            table.heap.page_count) == pytest.approx(1.0)

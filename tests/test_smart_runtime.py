@@ -28,7 +28,7 @@ class TestProgramRegistry:
     def test_default_programs_uploaded(self):
         __, __, runtime = make_runtime()
         assert runtime.program_names() == ["aggregate", "hash_join",
-                                           "scan_filter"]
+                                           "scan_filter", "shared_scan"]
 
     def test_duplicate_upload_rejected(self):
         __, __, runtime = make_runtime()
