@@ -30,18 +30,23 @@ import shutil
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "BENCH_PR4.json"
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR6.json"
 
 #: Allowed fractional regression before the gate fails.
 TOLERANCE = 0.25
 
 #: Absolute minimums for deterministic virtual-time metrics (higher is
 #: better). The scheduler's ISSUE-4 contract: >= 2x queries/sec at fan-in
-#: 8 vs serial, with real NAND traffic elided by scan sharing.
+#: 8 vs serial, with real NAND traffic elided by scan sharing. The ISSUE-6
+#: contract: a low-selectivity window over a clustered extent reads >= 5x
+#: fewer NAND pages with per-page statistics, and ORDER BY ... LIMIT ships
+#: >= 5x fewer interface bytes than the full qualifying set.
 FLOORS = {
     "sched_fanin8_speedup_x": 2.0,
     "sched_fanin8_queries_per_vs": 600.0,
     "sched_fanin8_saved_page_reads": 1000.0,
+    "skip_q6_page_reduction_x": 5.0,
+    "topn_interface_shrink_x": 5.0,
 }
 
 

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Perf-regression micro-harness: times the hot paths, emits BENCH_PR4.json.
+"""Perf-regression micro-harness: times the hot paths, emits BENCH_PR6.json.
 
 Plain stdlib + numpy script (no pytest-benchmark) so it runs anywhere the
 library runs, including CI. It measures four micro-benchmarks (page encode,
 page decode, kernel page processing, DES event throughput), two end-to-end
 figures (Fig. 3 Q6 and Fig. 5 join selectivity), scheduler scan-sharing
-throughput in *virtual* time (machine-independent), and one more
+throughput in *virtual* time, data-skipping page-read reduction and top-N
+interface shrink (both machine-independent), and one more
 machine-independent metric: the total Python function-call count of a fixed
 workload, captured with cProfile. Wall-clock numbers are normalized by a
 CPU calibration loop so the regression gate (``check_regression.py``) is
@@ -27,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_PR4.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_PR6.json"
 
 
 def _best_of(fn, repeats=3):
@@ -185,6 +186,74 @@ def bench_scheduler():
     }
 
 
+def bench_skipping():
+    """Data skipping + top-N pushdown on a shipdate-clustered LINEITEM.
+
+    Deterministic virtual-time figures (floor-gated, like the scheduler
+    metrics): a one-month Q6-style window over a date-sorted extent must
+    read >= 5x fewer NAND pages with per-page statistics than without, and
+    ORDER BY ... LIMIT k must shrink interface traffic by >= 5x versus
+    shipping the full qualifying set.
+    """
+    from repro.engine import Col, Compare, Const, Query, and_all
+    from repro.host.db import Database
+    from repro.storage import Layout
+    from repro.workloads import (
+        date_to_days,
+        generate_lineitem,
+        lineitem_schema,
+    )
+
+    schema = lineitem_schema()
+    rows = generate_lineitem(0.002)
+    # Clustered extent: sorted by ship date, the way a date-partitioned
+    # fact table lands on disk. Zone maps then carry one narrow date range
+    # per page.
+    rows = np.sort(rows, order="l_shipdate")
+
+    def make_db(stats_config):
+        db = Database()
+        db.create_smart_ssd()
+        db.create_table("lineitem", schema, Layout.PAX, rows, "smart-ssd",
+                        stats_config=stats_config)
+        return db
+
+    window_query = Query(
+        name="q6-window", table="lineitem",
+        predicate=and_all([
+            Compare(Col("l_shipdate"), ">=",
+                    Const(date_to_days(1994, 6, 1))),
+            Compare(Col("l_shipdate"), "<",
+                    Const(date_to_days(1994, 7, 1))),
+            Compare(Col("l_quantity"), "<", Const(2400)),
+        ]),
+        select=(("l_extendedprice", Col("l_extendedprice")),
+                ("l_discount", Col("l_discount"))))
+
+    from repro.storage import StatsConfig
+    pruned = make_db(StatsConfig()).execute_placed(window_query, "smart")
+    full = make_db(None).execute_placed(window_query, "smart")
+    assert pruned.counters.pages_skipped > 0
+
+    topn = Query(
+        name="q6-topn", table="lineitem", predicate=window_query.predicate,
+        select=window_query.select, order_by="l_extendedprice",
+        descending=True, limit=10)
+    folded = make_db(StatsConfig()).execute_placed(topn, "smart")
+    unfolded = make_db(StatsConfig()).execute_placed(
+        Query(name="q6-all", table="lineitem", select=window_query.select),
+        "smart")
+
+    return {
+        "skip_q6_page_reduction_x":
+            full.io.pages_read_device / pruned.io.pages_read_device,
+        "skip_q6_pages_read": float(pruned.io.pages_read_device),
+        "skip_q6_pages_skipped": float(pruned.counters.pages_skipped),
+        "topn_interface_shrink_x":
+            unfolded.io.bytes_over_interface / folded.io.bytes_over_interface,
+    }
+
+
 def count_calls():
     """Total function calls of a fixed workload — machine-independent."""
     from repro.bench.figures import fig3_q6
@@ -210,7 +279,7 @@ def main(argv=None) -> int:
     calibration = calibrate()
     metrics = {}
     for section in (bench_encode, bench_decode, bench_kernel, bench_des,
-                    bench_figures, bench_scheduler):
+                    bench_figures, bench_scheduler, bench_skipping):
         section_metrics = section()
         metrics.update(section_metrics)
         for key, value in section_metrics.items():

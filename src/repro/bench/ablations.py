@@ -410,13 +410,15 @@ def ext_scheduler(
         window = scheduler.stats["window_seconds"]
         serial = solo.elapsed_seconds * fan_in
         pages = scheduler.stats["shared_pages_read"] or solo_pages
+        skipped = scheduler.stats["pages_skipped"]
         rows.append([fan_in, window, serial / window, fan_in / window,
-                     pages, fan_in * solo_pages - pages])
+                     pages, fan_in * solo_pages - pages, skipped])
     return ExperimentResult(
         experiment="Extension E5: scheduled Q6 batches with cooperative "
                    "scan sharing vs serial execution",
         headers=["fan-in", "window s (run scale)", "speedup vs serial",
-                 "queries/s (virtual)", "NAND pages read", "pages saved"],
+                 "queries/s (virtual)", "NAND pages read", "pages saved",
+                 "pages skipped"],
         rows=rows,
         notes="one shared device scan serves the whole batch: riders pay "
               "only marginal predicate/aggregate work, so NAND reads stay "

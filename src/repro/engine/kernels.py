@@ -188,6 +188,77 @@ def order_and_limit_indexes(values: np.ndarray, limit: Optional[int],
     return order
 
 
+class TopNState:
+    """Device-resident bounded accumulator for ORDER BY ... LIMIT.
+
+    The scan program offers each page's (already page-locally truncated)
+    surviving rows together with their *ordinals* — global row positions in
+    extent scan order — and the state keeps only candidates that can still
+    make the final top ``limit``. Selection happens under the strict total
+    order (value, ordinal), exactly the order :func:`top_n_indexes` induces
+    over the host's concatenated chunk stream, so keeping the best ``n`` is
+    associative and idempotent: folding page-by-page on the device yields
+    the same surviving set as the host's single global pass, bit for bit,
+    regardless of the order units complete in.
+    """
+
+    #: Compact once the candidate pool exceeds ``max(4 * limit, this)``.
+    MIN_COMPACT_THRESHOLD = 256
+
+    def __init__(self, order_by: str, limit: int, descending: bool):
+        self.order_by = order_by
+        self.limit = limit
+        self.descending = descending
+        self._ordinals: list[np.ndarray] = []
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._count = 0
+        self._compact_at = max(4 * limit, self.MIN_COMPACT_THRESHOLD)
+
+    @property
+    def candidate_count(self) -> int:
+        """Rows currently buffered (bounded by the compaction threshold)."""
+        return self._count
+
+    def offer(self, ordinals: np.ndarray,
+              columns: dict[str, np.ndarray]) -> None:
+        """Add one page's surviving rows to the candidate pool."""
+        n = len(ordinals)
+        if n == 0:
+            return
+        self._ordinals.append(np.asarray(ordinals, dtype=np.int64))
+        self._chunks.append(columns)
+        self._count += n
+        if self._count > self._compact_at:
+            self._compact()
+
+    def _compact(self) -> None:
+        ordinals = np.concatenate(self._ordinals)
+        names = list(self._chunks[0])
+        columns = {name: np.concatenate([chunk[name]
+                                         for chunk in self._chunks])
+                   for name in names}
+        # Restore scan order first: ordinals are unique, so the stable
+        # argsort inside top_n_indexes then breaks value ties exactly as
+        # the host's concatenated-in-page-order pass would.
+        order = np.argsort(ordinals, kind="stable")
+        ordinals = ordinals[order]
+        columns = {name: values[order] for name, values in columns.items()}
+        keep = top_n_indexes(columns[self.order_by], self.limit,
+                             self.descending)
+        self._ordinals = [ordinals[keep]]
+        self._chunks = [{name: values[keep]
+                         for name, values in columns.items()}]
+        self._count = len(keep)
+
+    def finish(self) -> Optional[dict[str, np.ndarray]]:
+        """The final top-``limit`` candidates in scan order, or None when
+        nothing was ever offered."""
+        if not self._chunks:
+            return None
+        self._compact()
+        return self._chunks[0]
+
+
 @dataclass
 class AggState:
     """Mergeable partial state of the aggregate set."""

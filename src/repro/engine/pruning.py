@@ -1,0 +1,192 @@
+"""Compile predicates into conservative page-level pruning checks.
+
+:func:`build_pruner` walks an expression tree and produces a
+:class:`PagePruner` that answers one question per page: *given this page's
+zone maps (and Bloom filters), could any tuple on it satisfy the
+predicate?* The answer must never be a false "no" — a pruned page is
+guaranteed to hold no qualifying tuple — but false "yes" answers are fine
+(the page is read and filtered normally).
+
+Only analyzable shapes prune:
+
+* ``Col <op> Const`` (either operand order) over a zone map, with an
+  equality probe additionally consulting the column's Bloom filter;
+* ``LikePrefix(Col, prefix)`` as a byte-range check over a char zone map;
+* ``And``/``Or`` combinations thereof — an ``Or`` prunes only when *both*
+  sides are analyzable, an ``And`` when *either* side is.
+
+Anything else (arithmetic over columns, ``CaseWhen``, column-vs-column
+comparisons) conservatively matches every page. When no leaf is analyzable
+at all, :func:`build_pruner` returns ``None`` and the scan proceeds
+unpruned with zero overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.expressions import (
+    And,
+    Col,
+    Compare,
+    Const,
+    Expr,
+    LikePrefix,
+    Or,
+)
+from repro.storage.schema import Schema
+from repro.storage.stats import PageStats
+
+_Check = Callable[[PageStats], bool]
+
+
+class PagePruner:
+    """A compiled page-qualification check for one predicate.
+
+    Attributes:
+        leaf_checks: number of analyzable leaves consulted per page — the
+            unit the cost model charges as ``zone_map_checks``.
+    """
+
+    __slots__ = ("_check", "leaf_checks")
+
+    def __init__(self, check: _Check, leaf_checks: int):
+        self._check = check
+        self.leaf_checks = leaf_checks
+
+    def page_might_match(self, stats: PageStats) -> bool:
+        """False only when the page provably holds no qualifying tuple."""
+        if stats.tuple_count == 0:
+            return False
+        return self._check(stats)
+
+
+def build_pruner(predicate: Optional[Expr],
+                 schema: Schema) -> Optional[PagePruner]:
+    """Compile ``predicate`` into a :class:`PagePruner`, or ``None``.
+
+    ``None`` means the predicate (or its absence) gives the device nothing
+    to prune on; callers skip the per-page check entirely.
+    """
+    if predicate is None:
+        return None
+    check, leaves = _compile(predicate, schema)
+    if check is None or leaves == 0:
+        return None
+    return PagePruner(check, leaves)
+
+
+def _compile(node: Expr, schema: Schema) -> tuple[Optional[_Check], int]:
+    """Recursive compile: (check, leaf_count); (None, 0) = unanalyzable."""
+    if isinstance(node, And):
+        left, nl = _compile(node.left, schema)
+        right, nr = _compile(node.right, schema)
+        if left is None:
+            return right, nr
+        if right is None:
+            return left, nl
+        return (lambda stats: left(stats) and right(stats)), nl + nr
+    if isinstance(node, Or):
+        left, nl = _compile(node.left, schema)
+        right, nr = _compile(node.right, schema)
+        if left is None or right is None:
+            return None, 0
+        return (lambda stats: left(stats) or right(stats)), nl + nr
+    if isinstance(node, Compare):
+        return _compile_compare(node, schema)
+    if isinstance(node, LikePrefix):
+        return _compile_like(node, schema)
+    return None, 0
+
+
+def _compile_compare(node: Compare,
+                     schema: Schema) -> tuple[Optional[_Check], int]:
+    if isinstance(node.left, Col) and isinstance(node.right, Const):
+        name, op, value = node.left.name, node.op, node.right.value
+    elif isinstance(node.left, Const) and isinstance(node.right, Col):
+        name, value = node.right.name, node.left.value
+        op = _FLIPPED[node.op]
+    else:
+        return None, 0
+    if not schema.has_column(name):
+        return None, 0
+    if isinstance(value, str):
+        value = value.encode("ascii")
+
+    def check(stats: PageStats) -> bool:
+        column = stats.columns.get(name)
+        if column is None:
+            return True
+        try:
+            if op == "<":
+                return column.vmin < value
+            if op == "<=":
+                return column.vmin <= value
+            if op == ">":
+                return column.vmax > value
+            if op == ">=":
+                return column.vmax >= value
+            if op == "==":
+                if not column.vmin <= value <= column.vmax:
+                    return False
+                bloom = stats.blooms.get(name)
+                if (bloom is not None
+                        and isinstance(value, (int, np.integer))
+                        and not isinstance(value, bool)):
+                    return bloom.might_contain(int(value))
+                return True
+            # "!=" prunes only a constant single-valued page.
+            return not (column.vmin == column.vmax == value)
+        except TypeError:
+            return True  # incomparable constant: never prune on it
+
+    return check, 1
+
+
+#: ``Const <op> Col`` rewritten as ``Col <flipped-op> Const``.
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+            "==": "==", "!=": "!="}
+
+
+def _compile_like(node: LikePrefix,
+                  schema: Schema) -> tuple[Optional[_Check], int]:
+    if not isinstance(node.column, Col):
+        return None, 0
+    name = node.column.name
+    if not schema.has_column(name):
+        return None, 0
+    prefix = node.prefix
+    upper = _prefix_upper(prefix)
+
+    def check(stats: PageStats) -> bool:
+        column = stats.columns.get(name)
+        if column is None:
+            return True
+        try:
+            # Matching values live in the byte range [prefix, upper).
+            if column.vmax < prefix:
+                return False
+            if upper is not None and column.vmin >= upper:
+                return False
+            return True
+        except TypeError:
+            return True
+
+    return check, 1
+
+
+def _prefix_upper(prefix: bytes) -> Optional[bytes]:
+    """Smallest byte string greater than every ``prefix``-prefixed value.
+
+    Increments the last non-0xFF byte and truncates; an all-0xFF prefix has
+    no upper bound (``None``), so only the lower bound prunes.
+    """
+    out = bytearray(prefix)
+    while out:
+        if out[-1] != 0xFF:
+            out[-1] += 1
+            return bytes(out)
+        out.pop()
+    return None

@@ -84,6 +84,10 @@ class Ssd:
         self.interface = Bandwidth(sim, self.spec.interface.effective_rate,
                                    name=f"{self.spec.name}-interface")
         self._next_lpn = 0
+        # Firmware-resident per-page statistics, keyed by extent first LPN
+        # (see repro.storage.stats). Device scan programs consult these to
+        # skip non-qualifying NAND page reads.
+        self._extent_stats: dict[int, "object"] = {}
         if getattr(sim, "faults", None) is not None:
             self.install_fault_plan(sim.faults)
 
@@ -172,6 +176,22 @@ class Ssd:
             self.ftl.write(first + offset, data)
         return first
 
+    def register_extent_stats(self, first_lpn: int, stats) -> None:
+        """Attach per-page statistics to an extent (untimed metadata).
+
+        ``stats`` is a :class:`repro.storage.stats.ExtentStats`; its page
+        count must match the extent it describes. Registration is free in
+        simulated time — stats are computed while the table loads, exactly
+        like the page encode itself.
+        """
+        if stats.page_count < 1:
+            raise DeviceError("extent stats must cover at least one page")
+        self._extent_stats[first_lpn] = stats
+
+    def extent_stats(self, first_lpn: int):
+        """Statistics registered for the extent at ``first_lpn``, or None."""
+        return self._extent_stats.get(first_lpn)
+
     # -- timed I/O paths --------------------------------------------------------
 
     def internal_read(self, lpns: Sequence[int]) -> Generator[Event, None, list[bytes]]:
@@ -195,6 +215,14 @@ class Ssd:
         yield from self.interface.transfer(
             nbytes, self._interface_span("interface.write", nbytes))
         yield from self.controller.write_lpns(lpns, pages)
+        # Keep firmware page statistics current: recompute the entry for
+        # every rewritten page (untimed maintenance, like the FTL map).
+        if self._extent_stats:
+            for lpn, page in zip(lpns, pages):
+                for first, stats in self._extent_stats.items():
+                    if first <= lpn < first + stats.page_count:
+                        stats.refresh(lpn - first, page)
+                        break
 
     def transfer_to_host(self, nbytes: int) -> Generator[Event, None, None]:
         """Move result bytes (not pages) to the host — the GET reply path."""

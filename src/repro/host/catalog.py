@@ -8,7 +8,15 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.errors import CatalogError
-from repro.storage import HeapFile, Layout, Schema, build_heap_pages
+from repro.storage import (
+    DEFAULT_STATS_CONFIG,
+    ExtentStats,
+    HeapFile,
+    Layout,
+    Schema,
+    StatsConfig,
+    build_heap_pages,
+)
 
 
 @dataclass(frozen=True)
@@ -49,13 +57,20 @@ class Catalog:
 
     def create_table(self, name: str, schema: Schema, layout: Layout,
                      rows: np.ndarray | Iterable[Sequence[Any]],
-                     device: Any) -> Table:
+                     device: Any,
+                     stats_config: StatsConfig | None = DEFAULT_STATS_CONFIG,
+                     ) -> Table:
         """Build heap pages from rows and load them onto ``device``.
 
         ``rows`` may be a structured array with the schema dtype or an
         iterable of Python tuples. Loading is untimed (staging, not the
         experiment). The device must expose ``load_extent`` and have a
         ``spec.name``.
+
+        For PAX tables on stats-capable devices, per-page statistics are
+        computed from the same rows and registered with the device so its
+        scan programs can skip non-qualifying pages; pass
+        ``stats_config=None`` to load without statistics.
         """
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
@@ -65,6 +80,10 @@ class Catalog:
         self._next_table_id += 1
         pages = build_heap_pages(schema, rows, layout, table_id=table_id)
         first_lpn = device.load_extent(pages)
+        if (stats_config is not None and layout is Layout.PAX
+                and hasattr(device, "register_extent_stats")):
+            device.register_extent_stats(first_lpn, ExtentStats.from_rows(
+                schema, rows, layout, stats_config))
         heap = HeapFile(schema=schema, layout=layout, first_lpn=first_lpn,
                         page_count=len(pages), tuple_count=len(rows),
                         table_id=table_id)
@@ -75,7 +94,9 @@ class Catalog:
     def create_table_from_pages(self, name: str, schema: Schema,
                                 layout: Layout, pages: Sequence[bytes],
                                 tuple_count: int, device: Any,
-                                table_id: int | None = None) -> Table:
+                                table_id: int | None = None,
+                                extent_stats: ExtentStats | None = None,
+                                ) -> Table:
         """Load pre-encoded heap pages onto ``device`` and register them.
 
         The fast path behind the workload build cache: pages are immutable
@@ -91,6 +112,9 @@ class Catalog:
             table_id = self._next_table_id
         self._next_table_id = max(self._next_table_id, table_id + 1)
         first_lpn = device.load_extent(pages)
+        if (extent_stats is not None
+                and hasattr(device, "register_extent_stats")):
+            device.register_extent_stats(first_lpn, extent_stats)
         heap = HeapFile(schema=schema, layout=layout, first_lpn=first_lpn,
                         page_count=len(pages), tuple_count=tuple_count,
                         table_id=table_id)

@@ -47,7 +47,7 @@ from repro.model.energy import DeviceActivity, EnergyMeter
 from repro.model.report import ExecutionReport, IoStats
 from repro.sim import Simulator
 from repro.smart.device import SmartSsd, SmartSsdSpec
-from repro.storage import Layout, Schema
+from repro.storage import DEFAULT_STATS_CONFIG, Layout, Schema, StatsConfig
 
 
 @dataclass(frozen=True)
@@ -128,10 +128,19 @@ class Database:
 
     def create_table(self, name: str, schema: Schema, layout: Layout,
                      rows: np.ndarray | Iterable[Sequence[Any]],
-                     device_name: str) -> Table:
-        """Create and bulk-load a heap table on the named device."""
+                     device_name: str,
+                     stats_config: "StatsConfig | None" = DEFAULT_STATS_CONFIG,
+                     ) -> Table:
+        """Create and bulk-load a heap table on the named device.
+
+        ``stats_config`` controls the per-page statistics (zone maps and
+        optional Bloom filters) registered with stats-capable devices for
+        PAX tables; ``None`` loads the table without statistics, which
+        disables device-side data skipping for it.
+        """
         return self.catalog.create_table(name, schema, layout, rows,
-                                         self.device(device_name))
+                                         self.device(device_name),
+                                         stats_config=stats_config)
 
     # -- observability -----------------------------------------------------------------
 

@@ -399,9 +399,12 @@ def _pushdown_attempt(db: "Database", device: SmartSsd, query: Query,
         # scalar operations.
         yield from db.machine.compute(db.costs.page_setup)
         outcome.rows = _finalize_aggregates(query, state)
+    # NAND pages the device actually read: the extent(s), minus any pages
+    # the scan program's zone-map/Bloom checks skipped.
     outcome.pages_read = (table.page_count
                           + (db.catalog.table(query.join.build_table).page_count
-                             if query.join else 0))
+                             if query.join else 0)
+                          - outcome.counters.pages_skipped)
     return outcome
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.engine.expressions import EvalContext
 from repro.engine.plans import Query
+from repro.engine.pruning import build_pruner
 from repro.model.analytic import (
     ScanJobModel,
     host_scan_times_hdd,
@@ -57,6 +58,9 @@ class PlacementDecision:
     host_estimate_seconds: float
     smart_estimate_seconds: Optional[float]
     estimated_selectivity: float
+    #: Fraction of fact-table pages the device's zone-map/Bloom checks are
+    #: expected to skip (0.0 when no statistics are registered).
+    estimated_skip_fraction: float = 0.0
 
 
 def estimate_selectivity(db: "Database", query: Query,
@@ -84,6 +88,30 @@ def estimate_selectivity(db: "Database", query: Query,
         passed += int(np.count_nonzero(mask))
         total += header.tuple_count
     return passed / total if total else 1.0
+
+
+def estimate_skip_fraction(db: "Database", query: Query) -> float:
+    """Fraction of fact-table pages the device scan will prune.
+
+    Unlike selectivity this is exact, not sampled: the per-page statistics
+    are O(pages) metadata the host can walk for free, applying the same
+    conservative checks the device program will (``repro.engine.pruning``).
+    Returns 0.0 whenever the device has no usable statistics.
+    """
+    if query.predicate is None:
+        return 0.0
+    table = db.catalog.table(query.table)
+    device = db.device(table.device_name)
+    getter = getattr(device, "extent_stats", None)
+    stats = getter(table.heap.first_lpn) if getter is not None else None
+    if stats is None or stats.page_count != table.heap.page_count:
+        return 0.0
+    pruner = build_pruner(query.predicate, table.schema)
+    if pruner is None:
+        return 0.0
+    pruned = sum(1 for index in range(stats.page_count)
+                 if not pruner.page_might_match(stats.page(index)))
+    return pruned / stats.page_count
 
 
 def project_counters(db: "Database", query: Query,
@@ -127,6 +155,9 @@ def _result_nbytes(db: "Database", query: Query, selectivity: float) -> int:
     if not query.select:
         return 4096  # aggregates: one frame
     survivors = int(table.tuple_count * selectivity)
+    if query.limit is not None and not query.distinct:
+        # Device-resident top-N ships at most k tuples over the interface.
+        survivors = min(survivors, query.limit)
     width = 0
     build_schema = (db.catalog.table(query.join.build_table).schema
                     if query.join else None)
@@ -243,8 +274,25 @@ def choose_placement(db: "Database", query: Query,
             "conventional path beats even the shared-scan marginal cost",
             host_estimate, smart_estimate, selectivity)
 
+    # Data skipping is a pushdown-only advantage: the conventional path
+    # still drags every page across the interface, while the device scan
+    # elides the NAND reads, parsing, and predicate work of pruned pages.
+    skip_fraction = (estimate_skip_fraction(db, query)
+                     if query.join is None else 0.0)
+    keep = 1.0 - skip_fraction
+    device_counters = counters
+    smart_data_nbytes = data_nbytes
+    if skip_fraction > 0.0:
+        device_counters = counters.scaled(keep)
+        # Units are still dispatched (the statistics check happens inside
+        # them), and every page pays a zone-map consultation.
+        device_counters.io_units = counters.io_units
+        device_counters.zone_map_checks = table.page_count
+        device_counters.pages_skipped = int(
+            round(table.page_count * skip_fraction))
+        smart_data_nbytes = int(data_nbytes * keep)
     device_cycles = db.costs.cycles(
-        counters,
+        device_counters,
         large_hash_table=table_nbytes > db.costs.device_cache_nbytes)
     result_nbytes = _result_nbytes(db, query, selectivity)
     touched = sum(
@@ -252,7 +300,9 @@ def choose_placement(db: "Database", query: Query,
                       query.probe_side_columns() if t is table
                       else list(t.schema.names)[:2], t.tuple_count)
         for t in tables)
-    smart_job = ScanJobModel(data_nbytes=data_nbytes, touched_nbytes=touched,
+    touched = int(touched * keep)
+    smart_job = ScanJobModel(data_nbytes=smart_data_nbytes,
+                             touched_nbytes=touched,
                              result_nbytes=result_nbytes,
                              device_raw_cycles=device_cycles,
                              host_raw_cycles=host_cycles)
@@ -260,12 +310,15 @@ def choose_placement(db: "Database", query: Query,
                                       device.cpu_spec).elapsed
 
     if smart_estimate < host_estimate:
+        detail = (f"; statistics skip ~{skip_fraction:.0%} of pages"
+                  if skip_fraction > 0.0 else "")
         return PlacementDecision(
             "smart",
             f"pushdown estimated {host_estimate / smart_estimate:.2f}x "
-            "faster", host_estimate, smart_estimate, selectivity)
+            f"faster{detail}", host_estimate, smart_estimate, selectivity,
+            skip_fraction)
     return PlacementDecision(
         "host",
         f"conventional path estimated "
         f"{smart_estimate / host_estimate:.2f}x faster",
-        host_estimate, smart_estimate, selectivity)
+        host_estimate, smart_estimate, selectivity, skip_fraction)

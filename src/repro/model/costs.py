@@ -50,6 +50,8 @@ class CycleCosts:
     topn_candidate: int = 14        # bounded-heap offer per candidate row
     distinct_candidate: int = 24    # hash-set probe+insert per candidate row
     output_value_copy: int = 8      # materialize one result value
+    zone_map_check: int = 3         # one page-stats consultation (a couple
+    #                                 of comparisons over cached metadata)
     page_setup: int = 1230           # fixed per-page parse/setup
     io_unit_overhead_cycles: int = 12_000  # per-I/O-unit submission path
     # (12k raw cycles = 120 us of one 400 MHz core at the device's 4x
@@ -85,6 +87,7 @@ class CycleCosts:
             + counters.topn_candidates * self.topn_candidate
             + counters.distinct_candidates * self.distinct_candidate
             + counters.output_values * self.output_value_copy
+            + counters.zone_map_checks * self.zone_map_check
             + counters.io_units * self.io_unit_overhead_cycles
         )
 

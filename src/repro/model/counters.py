@@ -36,6 +36,10 @@ class WorkCounters:
     distinct_candidates: int = 0    # rows offered to a DISTINCT hash set
     output_values: int = 0          # values materialized into result tuples
     io_units: int = 0               # I/O-unit submissions (protocol overhead)
+    zone_map_checks: int = 0        # per-page statistics consultations
+    pages_skipped: int = 0          # NAND page reads elided by data skipping
+    #                                 (not priced: the saving *is* the absent
+    #                                 flash/DMA/parse work)
 
     # Fault/recovery events (not priced in cycles — their time is charged
     # at the fault sites — but surfaced so degraded runs are observable).

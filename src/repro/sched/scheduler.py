@@ -164,6 +164,7 @@ class QueryScheduler:
             "solo_rescues": 0,
             "saved_page_reads": 0,
             "shared_pages_read": 0,
+            "pages_skipped": 0,
             "fan_in": [],
             "admission_waits": [],
             "max_queue_depth": {},
@@ -197,6 +198,11 @@ class QueryScheduler:
         if submission.placement not in (Placement.SMART, Placement.AUTO):
             return False
         if submission.query.join is not None:
+            return False
+        if submission.query.limit is not None:
+            # LIMIT queries run solo so the device-resident top-N operator
+            # can fold them to O(k) tuples; a shared scan would ship every
+            # rider's full qualifying set.
             return False
         table = self.db.catalog.table(submission.query.table)
         return isinstance(self.db.device(table.device_name), SmartSsd)
@@ -481,6 +487,7 @@ class QueryScheduler:
         self.stats["saved_page_reads"] += scan_stats.get(
             "saved_page_reads", 0)
         self.stats["shared_pages_read"] += scan_stats.get("pages_read", 0)
+        self.stats["pages_skipped"] += scan_stats.get("pages_skipped", 0)
         if obs is not None:
             obs.metrics.histogram("sched.fan_in").observe(
                 scan_stats.get("fan_in", 0))

@@ -22,13 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+import numpy as np
+
 from repro.engine.kernels import (
     HASH_ENTRY_OVERHEAD,
     AggState,
     BuildCollector,
     PageKernel,
+    TopNState,
 )
 from repro.engine.plans import Query
+from repro.engine.pruning import PagePruner, build_pruner
 from repro.errors import ProgramCrashError, ProtocolError
 from repro.faults import SITE_SESSION_CRASH, check_fault
 from repro.model.counters import WorkCounters
@@ -128,6 +132,46 @@ def estimated_hash_table_nbytes(build_heap: HeapFile, query: Query) -> int:
     per_row += sum(build_heap.schema.column(n).nbytes for n in spec.payload)
     per_row += HASH_ENTRY_OVERHEAD
     return build_heap.tuple_count * per_row
+
+
+def extent_pruner(device: "SmartSsd", heap: HeapFile,
+                  query: Query) -> tuple[Optional[PagePruner], Optional[object]]:
+    """(pruner, extent stats) for a scan, or (None, None) when the device
+    has nothing to prune with.
+
+    Pruning needs registered statistics whose page count matches the heap
+    (a stale registration never silently skips pages) and a predicate with
+    at least one analyzable leaf.
+    """
+    if query.predicate is None:
+        return None, None
+    getter = getattr(device, "extent_stats", None)
+    stats = getter(heap.first_lpn) if getter is not None else None
+    if stats is None or stats.page_count != heap.page_count:
+        return None, None
+    pruner = build_pruner(query.predicate, heap.schema)
+    if pruner is None:
+        return None, None
+    return pruner, stats
+
+
+def _empty_partial(kernel: PageKernel):
+    """Run the kernel over a zero-row input.
+
+    Data skipping can leave a scan with no processed pages at all; folding
+    this partial in reproduces exactly what an unpruned scan of zero
+    qualifying rows would have produced (typed empty chunks for selects,
+    count=0 / sum=0 identities for aggregates).
+    """
+    columns = {
+        name: np.empty(0, dtype=kernel.schema.column(name).ctype.numpy_dtype)
+        for name in kernel.needed_columns}
+    return kernel.process_decoded(columns, 0)
+
+
+def _empty_select_chunk(kernel: PageKernel) -> dict:
+    """A zero-row chunk with the exact output dtypes the kernel produces."""
+    return _empty_partial(kernel).columns
 
 
 def execute_query(device: "SmartSsd", session: "Session",
@@ -230,6 +274,16 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
     window = Resource(sim, args.window, name=f"session-{session.id}-window")
     agg_total = AggState()
     select_mode = bool(query.select)
+    pruner, stats = extent_pruner(device, heap, query)
+    # Device-resident top-N: fold every unit's survivors into one bounded
+    # candidate pool and ship a single O(k) frame at the end. DISTINCT is
+    # excluded — its global dedupe must see all survivors before the limit.
+    device_topn = (select_mode and query.limit is not None
+                   and not query.distinct)
+    topn = (TopNState(query.order_by, query.limit, query.descending)
+            if device_topn else None)
+    capacity = heap.tuples_per_page
+    chunks_pushed = [0]
 
     def unit_process(index: int, lpns: list[int]):
         yield window.request()
@@ -237,18 +291,44 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
             if session.status is not SessionStatus.RUNNING:
                 return  # a sibling unit already crashed the program
             _maybe_crash(device, session, "scan", index)
-            pages = yield from device.internal_read(lpns)
             counters = WorkCounters()
             counters.io_units += 1
+            offsets = list(range(len(lpns)))
+            if pruner is not None:
+                # Consult the per-page statistics before touching flash;
+                # a skipped page costs a metadata check, not a NAND read.
+                counters.zone_map_checks += pruner.leaf_checks * len(lpns)
+                offsets = [
+                    off for off in offsets
+                    if pruner.page_might_match(
+                        stats.page(lpns[off] - heap.first_lpn))]
+                skipped = len(lpns) - len(offsets)
+                if skipped:
+                    counters.pages_skipped += skipped
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "device.pages_skipped",
+                            device=device.spec.name).inc(skipped)
+                lpns = [lpns[off] for off in offsets]
+            pages = []
+            if lpns:
+                pages = yield from device.internal_read(lpns)
             touched = 0
             out_columns: list[dict] = []
             rows = 0
-            for page in pages:
+            for offset, page in zip(offsets, pages):
                 partial = kernel.process_page(page)
                 counters.add(partial.counters)
                 touched += partial.touched_nbytes
                 rows += partial.row_count
-                if select_mode:
+                if device_topn:
+                    # Global row positions in extent scan order: the tie
+                    # break the host's concatenated merge would use.
+                    base = (index * args.io_unit_pages + offset) * capacity
+                    counters.topn_candidates += partial.row_count
+                    topn.offer(base + np.arange(partial.row_count),
+                               partial.columns)
+                elif select_mode:
                     out_columns.append(partial.columns)
                 else:
                     agg_total.merge(partial.agg, query.aggregates)
@@ -263,7 +343,7 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
             if obs is not None:
                 obs.metrics.counter("program.units",
                                     device=device.spec.name).inc()
-            if select_mode:
+            if select_mode and not device_topn and out_columns:
                 nbytes = RESULT_FRAME_NBYTES + sum(
                     array.nbytes for chunk in out_columns
                     for array in chunk.values())
@@ -274,6 +354,7 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                     None if obs is None else obs.span(
                         "dram.stage", track=device.controller.dram_bus.name,
                         bytes=nbytes))
+                chunks_pushed[0] += 1
                 session.push((index, out_columns), nbytes)
         finally:
             window.release()
@@ -289,7 +370,33 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
     try:
         yield sim.all_of(processes)
 
-        if not select_mode:
+        if device_topn:
+            final = topn.finish()
+            if final is None:
+                final = _empty_select_chunk(kernel)
+            nbytes = RESULT_FRAME_NBYTES + sum(
+                array.nbytes for array in final.values())
+            yield from device.controller.dram_bus.transfer(
+                nbytes,
+                None if obs is None else obs.span(
+                    "dram.stage", track=device.controller.dram_bus.name,
+                    bytes=nbytes))
+            session.push((0, [final]), nbytes)
+        elif select_mode and not chunks_pushed[0]:
+            # Every page was pruned: ship one typed empty chunk so the
+            # host merge keeps the query's output dtypes.
+            proto = _empty_select_chunk(kernel)
+            yield from device.controller.dram_bus.transfer(
+                RESULT_FRAME_NBYTES,
+                None if obs is None else obs.span(
+                    "dram.stage", track=device.controller.dram_bus.name,
+                    bytes=RESULT_FRAME_NBYTES))
+            session.push((0, [proto]), RESULT_FRAME_NBYTES)
+        elif not select_mode:
+            # Zero-row identity: if skipping pruned every page, this gives
+            # the same count=0 / sum=0 result an unpruned scan of zero
+            # qualifying rows yields; otherwise it merges as a no-op.
+            agg_total.merge(_empty_partial(kernel).agg, query.aggregates)
             nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
                 len(query.aggregates) * max(1, len(agg_total.groups) or 1))
             yield from device.controller.dram_bus.transfer(

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.engine.expressions import CachedEvalContext
 from repro.engine.kernels import AggState, PageKernel
 from repro.engine.plans import Query
+from repro.engine.pruning import PagePruner
 from repro.errors import ProtocolError
 from repro.model.counters import WorkCounters
 from repro.sim import Event, Resource
@@ -47,7 +48,9 @@ from repro.smart.programs.base import (
     PIPELINE_WINDOW,
     RESULT_FRAME_NBYTES,
     DeviceProgram,
+    _empty_select_chunk,
     _maybe_crash,
+    extent_pruner,
     unit_lpn_runs,
 )
 from repro.smart.protocol import SessionStatus
@@ -106,9 +109,14 @@ class _Member:
     """Device-side state of one query riding the shared scan."""
 
     def __init__(self, index: int, query: Query, heap: HeapFile,
-                 unit_count: int, late: bool):
+                 unit_count: int, late: bool,
+                 pruner: PagePruner | None = None):
         self.index = index
         self.query = query
+        #: This rider's page pruner (None when its predicate — or the
+        #: extent — gives the device nothing to prune with).
+        self.pruner = pruner
+        self.chunks_pushed = 0
         # The cold kernel charges extraction like a solo scan; the cached
         # kernel re-reads values a sibling already pulled through the
         # device cache this unit.
@@ -175,7 +183,19 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
     members: list[_Member] = []
     pending: list[tuple[int, Query]] = []
     state = {"accepting": True, "dispatched": False, "next_index": 0}
-    stats = {"units_dispatched": 0, "pages_read": 0, "saved_page_reads": 0}
+    stats = {"units_dispatched": 0, "pages_read": 0, "saved_page_reads": 0,
+             "pages_skipped": 0}
+
+    # Per-rider pruners over the extent's registered page statistics: a
+    # page is read iff at least one rider's predicate might match it.
+    extent_stats = None
+
+    def rider_pruner(query: Query) -> PagePruner | None:
+        nonlocal extent_stats
+        pruner, found = extent_pruner(device, heap, query)
+        if pruner is not None:
+            extent_stats = found
+        return pruner
 
     def attach_hook(query: Query) -> int:
         if not state["accepting"]:
@@ -196,18 +216,31 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
     def admit_pending() -> None:
         for index, query in pending:
             members.append(_Member(index, query, heap, unit_count,
-                                   late=state["dispatched"]))
+                                   late=state["dispatched"],
+                                   pruner=rider_pruner(query)))
         pending.clear()
 
     for query in args.queries:
         index = state["next_index"]
         state["next_index"] += 1
-        members.append(_Member(index, query, heap, unit_count, late=False))
+        members.append(_Member(index, query, heap, unit_count, late=False,
+                               pruner=rider_pruner(query)))
 
     window = Resource(sim, args.window,
                       name=f"session-{session.id}-window")
 
     def finalize_member(member: _Member) -> Generator[Event, None, None]:
+        if member.select and not member.chunks_pushed:
+            # Every page was pruned for this rider: ship one typed empty
+            # chunk so the host merge keeps the query's output dtypes.
+            proto = _empty_select_chunk(member.kernel_cold)
+            yield from device.controller.dram_bus.transfer(
+                RESULT_FRAME_NBYTES,
+                None if obs is None else obs.span(
+                    "dram.stage", track=device.controller.dram_bus.name,
+                    bytes=RESULT_FRAME_NBYTES))
+            session.push(("chunk", member.index, 0, [proto]),
+                         RESULT_FRAME_NBYTES)
         if not member.select:
             total = member.agg
             nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
@@ -232,22 +265,49 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
             if session.status is not SessionStatus.RUNNING:
                 return  # a sibling unit already crashed the program
             _maybe_crash(device, session, "shared-scan", position)
-            pages = yield from device.internal_read(unit_runs[position])
-            stats["units_dispatched"] += 1
-            stats["pages_read"] += len(pages)
-            stats["saved_page_reads"] += (len(targets) - 1) * len(pages)
             shared = WorkCounters()
             shared.io_units += 1
+            marginal = {member.index: WorkCounters() for member in targets}
+            chunks = {member.index: [] for member in targets
+                      if member.select}
+            # Per-page qualification: a rider without a pruner needs every
+            # page; a page is skipped only when *no* rider might match it.
+            page_plan: list[tuple[int, list[_Member]]] = []
+            for lpn in unit_runs[position]:
+                qualifying = []
+                for member in targets:
+                    if member.pruner is None:
+                        qualifying.append(member)
+                        continue
+                    marginal[member.index].zone_map_checks += \
+                        member.pruner.leaf_checks
+                    if member.pruner.page_might_match(
+                            extent_stats.page(lpn - heap.first_lpn)):
+                        qualifying.append(member)
+                if qualifying:
+                    page_plan.append((lpn, qualifying))
+            skipped = len(unit_runs[position]) - len(page_plan)
+            pages = []
+            if page_plan:
+                pages = yield from device.internal_read(
+                    [lpn for lpn, __ in page_plan])
+            saved = sum(len(q) - 1 for __, q in page_plan)
+            stats["units_dispatched"] += 1
+            stats["pages_read"] += len(pages)
+            stats["saved_page_reads"] += saved
+            if skipped:
+                shared.pages_skipped += skipped
+                stats["pages_skipped"] += skipped
+                if obs is not None:
+                    obs.metrics.counter("device.pages_skipped",
+                                        device=device.spec.name).inc(skipped)
             union: list[str] = []
             for member in targets:
                 for name in member.kernel_cold.needed_columns:
                     if name not in union:
                         union.append(name)
-            marginal = {member.index: WorkCounters() for member in targets}
-            chunks = {member.index: [] for member in targets
-                      if member.select}
             touched = 0
-            for page in pages:
+            for (__, qualifying), page in zip(page_plan, pages):
                 header = PageHeader.decode(page)
                 n = header.tuple_count
                 shared.pages_parsed += 1
@@ -255,7 +315,9 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
                     shared.nsm_tuples_parsed += n
                 columns = decode_columns(schema, page, union, header=header)
                 touched += touched_bytes(layout, schema, union, n)
-                for rank, member in enumerate(targets):
+                # The lowest-ranked rider *of this page* pays the cold
+                # extraction price; the rest ride the device cache.
+                for rank, member in enumerate(qualifying):
                     kernel = (member.kernel_cold if rank == 0
                               else member.kernel_cached)
                     partial = kernel.process_decoded(columns, n)
@@ -283,8 +345,7 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
                 obs.metrics.counter("program.units",
                                     device=device.spec.name).inc()
                 obs.metrics.counter("sched.shared.saved_page_reads",
-                                    device=device.spec.name).inc(
-                    (len(targets) - 1) * len(pages))
+                                    device=device.spec.name).inc(saved)
             for member in targets:
                 if member.select:
                     out_chunks = chunks[member.index]
@@ -297,6 +358,7 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
                             "dram.stage",
                             track=device.controller.dram_bus.name,
                             bytes=nbytes))
+                    member.chunks_pushed += len(out_chunks)
                     session.push(("chunk", member.index, position,
                                   out_chunks), nbytes)
             for member in targets:

@@ -25,6 +25,14 @@ from repro.storage.layout import (
 )
 from repro.storage.page import PAGE_SIZE, PageHeader
 from repro.storage.schema import Column, Schema
+from repro.storage.stats import (
+    DEFAULT_STATS_CONFIG,
+    BloomFilter,
+    ColumnStats,
+    ExtentStats,
+    PageStats,
+    StatsConfig,
+)
 from repro.storage.types import (
     CharType,
     ColumnType,
@@ -35,18 +43,24 @@ from repro.storage.types import (
 )
 
 __all__ = [
+    "BloomFilter",
     "CharType",
     "Column",
+    "ColumnStats",
     "ColumnType",
+    "DEFAULT_STATS_CONFIG",
     "DateType",
     "DecimalType",
+    "ExtentStats",
     "HeapFile",
     "Int32Type",
     "Int64Type",
     "Layout",
     "PAGE_SIZE",
     "PageHeader",
+    "PageStats",
     "Schema",
+    "StatsConfig",
     "build_heap_pages",
     "decode_columns",
     "decode_page",

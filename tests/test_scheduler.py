@@ -275,3 +275,119 @@ class TestSessionFrontDoor:
         direct = session.execute("SELECT COUNT(*) AS n FROM t WHERE v < 5",
                                  placement=Placement.SMART)
         assert report.rows == direct.rows
+
+
+class TestSharedScanSkipping:
+    """Shared scans with per-rider pruning: the stream reads the union of
+    the riders' needed pages — never skipping a page another rider wants —
+    and every answer stays identical to a solo run."""
+
+    def make_clustered_db(self, n=6000):
+        # v sorted across the extent -> narrow per-page zone maps -> the
+        # range predicates below each need a different slice of pages.
+        db = Database()
+        db.create_smart_ssd()
+        rows = np.empty(n, dtype=schema().numpy_dtype())
+        rows["k"] = np.arange(n)
+        rows["v"] = np.arange(n)
+        db.create_table("t", schema(), Layout.PAX, rows, "smart-ssd")
+        return db
+
+    @staticmethod
+    def low_query(n=6000):
+        return Query(name="low", table="t",
+                     predicate=Compare(Col("v"), "<", Const(n // 10)),
+                     aggregates=(AggSpec("count", None, "n"),
+                                 AggSpec("sum", Col("v"), "s")))
+
+    @staticmethod
+    def high_query(n=6000):
+        return Query(name="high", table="t",
+                     predicate=Compare(Col("v"), ">=", Const(n - n // 10)),
+                     aggregates=(AggSpec("count", None, "n"),
+                                 AggSpec("sum", Col("v"), "s")))
+
+    def test_heterogeneous_riders_read_the_union(self):
+        solo_low = self.make_clustered_db().execute_placed(
+            self.low_query(), "smart")
+        solo_high = self.make_clustered_db().execute_placed(
+            self.high_query(), "smart")
+        assert solo_low.counters.pages_skipped > 0
+        assert solo_high.counters.pages_skipped > 0
+
+        db = self.make_clustered_db()
+        page_count = db.catalog.table("t").page_count
+        scheduler = QueryScheduler(db)
+        scheduler.submit(self.low_query(), "smart")
+        scheduler.submit(self.high_query(), "smart")
+        low_report, high_report = scheduler.gather()
+        assert low_report.rows == solo_low.rows
+        assert high_report.rows == solo_high.rows
+        # The stream skipped the middle of the extent but read the union
+        # of both riders' page sets: no rider's page was skipped for it.
+        union = (solo_low.io.pages_read_device
+                 + solo_high.io.pages_read_device)
+        assert scheduler.stats["shared_pages_read"] == union
+        assert scheduler.stats["pages_skipped"] == page_count - union
+        assert scheduler.stats["pages_skipped"] > 0
+
+    def test_identical_riders_skip_identically(self):
+        solo = self.make_clustered_db().execute_placed(
+            self.low_query(), "smart")
+        scheduler = QueryScheduler(self.make_clustered_db())
+        for __ in range(3):
+            scheduler.submit(self.low_query(), "smart")
+        reports = scheduler.gather()
+        assert all(r.rows == solo.rows for r in reports)
+        assert (scheduler.stats["shared_pages_read"]
+                == solo.io.pages_read_device)
+        assert scheduler.stats["saved_page_reads"] > 0
+
+    def test_mid_scan_attach_with_pruning_stays_exact(self):
+        config = SchedulerConfig(io_unit_pages=2, window=2)
+        solo_low = self.make_clustered_db().execute_placed(
+            self.low_query(), "smart")
+        solo_high = self.make_clustered_db().execute_placed(
+            self.high_query(), "smart")
+        scheduler = QueryScheduler(self.make_clustered_db(), config)
+        scheduler.submit(self.low_query(), "smart")
+        scheduler.submit(self.high_query(), "smart", at=1e-5)
+        low_report, high_report = scheduler.gather()
+        assert low_report.rows == solo_low.rows
+        assert high_report.rows == solo_high.rows
+
+    def test_obs_metric_matches_scheduler_stats(self):
+        db = self.make_clustered_db()
+        obs = db.enable_observability()
+        scheduler = QueryScheduler(db)
+        scheduler.submit(self.low_query(), "smart")
+        scheduler.submit(self.high_query(), "smart")
+        scheduler.gather()
+        skipped = obs.metrics.counter("device.pages_skipped",
+                                      device="smart-ssd").value
+        assert skipped == scheduler.stats["pages_skipped"] > 0
+
+    def test_solo_pages_read_reflects_skips(self):
+        db = self.make_clustered_db()
+        page_count = db.catalog.table("t").page_count
+        report = db.execute_placed(self.low_query(), "smart")
+        assert report.counters.pages_skipped > 0
+        assert report.io.pages_read_device == (
+            page_count - report.counters.pages_skipped)
+
+    def test_limit_queries_run_solo(self):
+        # LIMIT queries are excluded from sharing so the device top-N
+        # operator can fold them to O(k) frames.
+        db = self.make_clustered_db()
+        scheduler = QueryScheduler(db)
+        limited = Query(name="topn", table="t",
+                        select=(("k", Col("k")), ("v", Col("v"))),
+                        order_by="v", descending=True, limit=5)
+        scheduler.submit(limited, "smart")
+        scheduler.submit(limited, "smart")
+        reports = scheduler.gather()
+        assert scheduler.stats["shared_members"] == 0
+        solo = self.make_clustered_db().execute_placed(limited, "smart")
+        for report in reports:
+            for name in ("k", "v"):
+                assert np.array_equal(report.rows[name], solo.rows[name])

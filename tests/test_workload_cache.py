@@ -116,7 +116,7 @@ def test_invalidate_drops_one_table_or_everything():
 def test_cached_rows_are_frozen():
     db = make_synthetic_db(DeviceKind.SSD, Layout.PAX)
     from repro.bench.runners import _WORKLOAD_CACHE
-    for __, rows, pages in _WORKLOAD_CACHE.values():
+    for __, rows, pages, __stats in _WORKLOAD_CACHE.values():
         assert rows.flags.writeable is False
         assert all(isinstance(p, bytes) for p in pages)
     with pytest.raises(ValueError):
