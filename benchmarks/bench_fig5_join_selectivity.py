@@ -8,8 +8,9 @@ from repro.bench.figures import fig5_join_selectivity
 def test_fig5_join_selectivity(benchmark, emit):
     result = emit(run_once(benchmark, fig5_join_selectivity))
     speedups = [row[4] for row in result.rows]
-    # Paper: up to 2.2x at 1% selectivity.
-    assert 1.8 <= speedups[0] <= 2.6
+    # Paper: up to 2.2x at 1% selectivity; data skipping (PR 5) lifts the
+    # device path a little past the paper's prototype at low selectivity.
+    assert 1.8 <= speedups[0] <= 3.0
     # Speedup declines monotonically as more data must return to the host.
     assert all(b < a for a, b in zip(speedups, speedups[1:]))
     # At 100% the device saturates to ~parity with the conventional path.

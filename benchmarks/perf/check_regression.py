@@ -30,7 +30,7 @@ import shutil
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "BENCH_PR6.json"
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR7.json"
 
 #: Allowed fractional regression before the gate fails.
 TOLERANCE = 0.25
@@ -47,6 +47,18 @@ FLOORS = {
     "sched_fanin8_saved_page_reads": 1000.0,
     "skip_q6_page_reduction_x": 5.0,
     "topn_interface_shrink_x": 5.0,
+}
+
+#: Calibration-unit bounds locking in ISSUE-7's batch-execution wins: the
+#: unit-batched projected decode and the Fig. 5 end-to-end run must stay
+#: >= 2x the PR6 (page-at-a-time) baseline on any machine. Values are in
+#: calibration units — throughputs as work * calibration_s ("min" gates),
+#: durations as seconds / calibration_s ("max" gates). The PR6 baseline
+#: measured 8,265 calibrated for projected decode and 135.7 calibrated for
+#: Fig. 5; the bounds sit at 2x of each.
+CALIBRATED_GATES = {
+    "decode_projected_pages_per_s": (16_500.0, "min"),
+    "fig5_join_selectivity_s": (68.0, "max"),
 }
 
 
@@ -112,6 +124,18 @@ def main(argv=None) -> int:
 
     failures = []
     if not args.only:
+        for key, (bound, direction) in sorted(CALIBRATED_GATES.items()):
+            value = current.get(key)
+            if value is None:
+                failures.append(f"{key}: missing from current run")
+                continue
+            ok = value >= bound if direction == "min" else value <= bound
+            marker = "ok" if ok else "FAIL"
+            print(f"  [{marker}] {key}: {value:,.1f} calibrated "
+                  f"({direction} {bound:,.1f})")
+            if not ok:
+                failures.append(f"{key}: {value:,.1f} violates "
+                                f"{direction} bound {bound:,.1f}")
         current_raw = json.loads(args.current.read_text())["metrics"]
         for key, floor in sorted(FLOORS.items()):
             value = current_raw.get(key)

@@ -1,31 +1,105 @@
-"""Per-page execution kernels shared by host and device placement.
+"""Execution kernels shared by host and device placement.
 
-The unit of execution is one page: decode the needed columns, apply the
-predicate, optionally probe the join hash table, then project rows or fold
-aggregates. :class:`PageKernel.process_page` does that functionally on real
-page bytes while counting every priced operation; the caller (host executor
-or Smart SSD program) charges the counters to the right CPU and moves the
-right bytes over the right links.
+Two granularities over the same query semantics:
+
+* :class:`PageKernel` — the original page-at-a-time kernel: decode the
+  needed columns of one page, apply the predicate, optionally probe the
+  join hash table, then project rows or fold aggregates.
+  :meth:`PageKernel.process_page` remains as the compatibility shim the
+  pruning/top-N paths and the differential tests exercise.
+* :class:`BatchKernel` — the hot path: one I/O unit (up to 32 pages) per
+  invocation. Columns decode across the whole unit in one NumPy pass per
+  column (:class:`repro.storage.UnitColumns`), the predicate evaluates over
+  the unit's concatenated predicate columns *first*, and the remaining
+  projection/probe/aggregate columns are decoded only for pages with at
+  least one surviving row (late materialization). Counters, virtual time,
+  and results are bit-identical to driving :class:`PageKernel` page by
+  page — aggregation partials are still folded per page segment in page
+  order, so even float accumulation order matches.
+
+Both count every priced operation; the caller (host executor or Smart SSD
+program) charges the counters to the right CPU and moves the right bytes
+over the right links.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import PlanError
-from repro.engine.expressions import EvalContext
+from repro.engine.expressions import (
+    And,
+    CaseWhen,
+    Col,
+    Compare,
+    Const,
+    EvalContext,
+    Expr,
+    LikePrefix,
+    Or,
+    _BinaryArith,
+)
 from repro.engine.plans import AggSpec, JoinSpec, Query
 from repro.model.counters import WorkCounters
 from repro.storage.layout import Layout, decode_columns, touched_bytes
 from repro.storage.page import PageHeader
 from repro.storage.schema import Schema
+from repro.storage.unitdecode import UnitColumns
 
 #: Estimated per-entry bookkeeping bytes of a hash table (bucket pointers,
 #: entry headers) — used for memory grants and cache-residency decisions.
 HASH_ENTRY_OVERHEAD = 24
+
+
+def batch_exact(expr: Optional[Expr]) -> bool:
+    """True when unit-wide evaluation charges exactly the per-page sums.
+
+    The short-circuit combinators (``And``/``Or``/``CaseWhen``) clamp the
+    active-row count they pass onward with ``min``/``max``. Evaluated at
+    *full* active (active == row count) the clamp is exact and additive
+    across pages: ``min(n, nonzero) == nonzero`` and nonzero counts sum.
+    Evaluated at an already-reduced active (the right side of an ``And``,
+    a ``CASE`` branch) the clamp can bind differently per page than over
+    the concatenated unit, so a combinator in such a position makes
+    unit-wide charging inexact — the batch kernel then falls back to its
+    per-page path to preserve bit-identical counters.
+
+    ``and_all``'s left-nested conjunction chains, and every expression the
+    committed workloads use, are batch-exact.
+    """
+    return _exact_at_full(expr) if expr is not None else True
+
+
+def _exact_at_full(expr: Expr) -> bool:
+    """Exactness when ``expr`` is evaluated with active == row count."""
+    if isinstance(expr, (And, Or)):
+        # The left side keeps full active; the right side receives the
+        # (additive) survivor count, where only clamp-free trees are safe.
+        return _exact_at_full(expr.left) and _clamp_free(expr.right)
+    if isinstance(expr, CaseWhen):
+        return (_exact_at_full(expr.condition) and _clamp_free(expr.then)
+                and _clamp_free(expr.otherwise))
+    if isinstance(expr, (Compare, _BinaryArith)):
+        return _exact_at_full(expr.left) and _exact_at_full(expr.right)
+    if isinstance(expr, LikePrefix):
+        return _exact_at_full(expr.column)
+    # Col/Const charge linearly in active — always additive. Unknown node
+    # types are conservatively assumed to clamp.
+    return isinstance(expr, (Col, Const))
+
+
+def _clamp_free(expr: Expr) -> bool:
+    """True when the subtree contains no min/max-clamping combinator."""
+    if isinstance(expr, (And, Or, CaseWhen)):
+        return False
+    if isinstance(expr, (Compare, _BinaryArith)):
+        return _clamp_free(expr.left) and _clamp_free(expr.right)
+    if isinstance(expr, LikePrefix):
+        return _clamp_free(expr.column)
+    return isinstance(expr, (Col, Const))
 
 
 class HashTable:
@@ -87,10 +161,60 @@ class BuildCollector:
             for name in sorted(spec.build_predicate.columns()):
                 if name not in self.needed:
                     self.needed.append(name)
+        pred = spec.build_predicate
+        self._pred_names = set(pred.columns()) if pred is not None else set()
+        self._batch_exact = batch_exact(pred)
 
     def consume(self, pages: Sequence[bytes], counters: WorkCounters,
                 layout: Layout) -> int:
-        """Decode a batch of build pages; returns page bytes the CPU touched."""
+        """Decode a batch of build pages; returns page bytes the CPU touched.
+
+        Decodes the whole batch in one pass per column; with a build
+        predicate, only its columns decode eagerly and the key/payload
+        columns late-materialize for pages with at least one kept row.
+        Counters and the assembled table are identical to per-page decode.
+        """
+        if not pages:
+            return 0
+        if not self._batch_exact:
+            return self._consume_pages(pages, counters, layout)
+        unit = UnitColumns(self.schema, pages)
+        n = unit.total_rows
+        counters.pages_parsed += unit.page_count
+        if layout is Layout.NSM:
+            counters.nsm_tuples_parsed += n
+        touched = touched_bytes(layout, self.schema, self.needed, n)
+        pred = self.spec.build_predicate
+        eager = [name for name in self.needed
+                 if pred is None or name in self._pred_names]
+        late = [name for name in self.needed if name not in eager]
+        columns = unit.decode(eager)
+        ctx = EvalContext(columns, n, counters, layout)
+        if pred is not None:
+            mask = pred.evaluate(ctx, n)
+            keep = np.nonzero(mask)[0]
+        else:
+            keep = np.arange(n)
+        gathered = {name: columns[name][keep] for name in eager}
+        if late:
+            late_cols, gather_idx, elided = _late_materialize(unit, keep,
+                                                              late)
+            counters.decode_bytes_elided += elided
+            for name in late:
+                gathered[name] = late_cols[name][gather_idx]
+        counters.decoded_bytes += unit.decoded_nbytes
+        # Key + payload extraction for every inserted row.
+        ctx.charge_extract(len(keep) * len(self.needed))
+        counters.hash_builds += len(keep)
+        self._key_chunks.append(gathered[self.spec.build_key])
+        for name in self.spec.payload:
+            self._payload_chunks[name].append(gathered[name])
+        return touched
+
+    def _consume_pages(self, pages: Sequence[bytes], counters: WorkCounters,
+                       layout: Layout) -> int:
+        """Page-at-a-time path (build predicates batch evaluation cannot
+        charge exactly — see :func:`batch_exact`)."""
         touched = 0
         for page in pages:
             header = PageHeader.decode(page)
@@ -481,3 +605,408 @@ class PageKernel:
                 state.groups.setdefault(group, {})[agg.name] = _merge_scalar(
                     agg.kind, state.groups.get(group, {}).get(agg.name),
                     partial)
+
+
+# --------------------------------------------------------------------------
+# Batch (I/O-unit-at-a-time) execution
+# --------------------------------------------------------------------------
+
+def _late_materialize(unit: UnitColumns, survivors: np.ndarray,
+                      names: Sequence[str],
+                      page_of: Optional[np.ndarray] = None,
+                      ) -> tuple[dict[str, np.ndarray], np.ndarray, int]:
+    """Decode ``names`` only for pages with at least one surviving row.
+
+    Returns ``(columns, gather, elided)``: the decoded columns (compacted
+    to live pages), the indexes of ``survivors`` within that compacted row
+    space, and the value bytes the skipped (fully-filtered) pages never
+    materialized.
+    """
+    if page_of is None:
+        page_of = np.searchsorted(unit.starts, survivors, side="right") - 1
+    per_page = np.bincount(page_of, minlength=unit.page_count)
+    live = np.nonzero(per_page)[0]
+    dead_rows = unit.total_rows - int(unit.counts[live].sum())
+    elided = dead_rows * unit.rows_per_tuple(names)
+    columns = unit.decode(names, include=live)
+    compact_starts = np.zeros(len(live) + 1, dtype=np.int64)
+    np.cumsum(unit.counts[live], out=compact_starts[1:])
+    position = np.searchsorted(live, page_of)
+    gather = compact_starts[position] + (survivors - unit.starts[page_of])
+    return columns, gather, elided
+
+
+@dataclass
+class UnitPartial:
+    """Output of one I/O unit's worth of batch-kernel work."""
+
+    row_count: int
+    #: ``(page offset within the unit, output columns)`` chunks. One
+    #: concatenated chunk per unit normally; one per page when page-local
+    #: semantics (DISTINCT dedupe, top-N truncation) require it.
+    chunks: list[tuple[int, dict[str, np.ndarray]]] = field(
+        default_factory=list)
+    touched_nbytes: int = 0  # page bytes the CPU actually read
+
+
+class BatchKernel:
+    """I/O-unit-at-a-time execution for one :class:`Query`.
+
+    Drop-in replacement for driving :class:`PageKernel` over each page of a
+    unit: identical results, counters, and touched bytes, with the decode
+    and expression work batched across the unit's concatenated rows. The
+    predicate evaluates first over just its own columns; every other column
+    is then decoded only for pages with surviving rows (late
+    materialization). Aggregates fold into the caller's running
+    :class:`AggState` per page segment in page order, so floating-point
+    accumulation order is preserved bit for bit.
+
+    Queries whose expressions are not :func:`batch_exact` (clamping
+    combinators in reduced-active positions) transparently run the
+    page-at-a-time path via :attr:`page_kernel`.
+    """
+
+    def __init__(self, query: Query, schema: Schema, layout: Layout,
+                 hash_table: Optional[HashTable] = None,
+                 ctx_factory: type[EvalContext] = EvalContext):
+        self.page_kernel = PageKernel(query, schema, layout,
+                                      hash_table=hash_table,
+                                      ctx_factory=ctx_factory)
+        self.query = query
+        self.schema = schema
+        self.layout = layout
+        self.hash_table = hash_table
+        self.ctx_factory = ctx_factory
+        self.needed_columns = self.page_kernel.needed_columns
+        pred_names = (set(query.predicate.columns())
+                      if query.predicate is not None else None)
+        #: Columns the predicate needs (everything, without a predicate).
+        self.predicate_columns = [
+            name for name in self.needed_columns
+            if pred_names is None or name in pred_names]
+        #: Columns whose decode waits for the predicate's survivors.
+        self.late_columns = [name for name in self.needed_columns
+                             if name not in self.predicate_columns]
+        #: DISTINCT dedupe and top-N truncation are page-local in the
+        #: per-page kernel; emit per-page chunks to preserve that.
+        self.per_page_output = bool(query.distinct
+                                    or query.limit is not None)
+        exprs = [query.predicate, query.post_predicate,
+                 *(expr for __, expr in query.select),
+                 *(agg.expr for agg in query.aggregates
+                   if agg.expr is not None)]
+        self.is_batch_exact = all(batch_exact(expr) for expr in exprs)
+
+    # -- entry points --------------------------------------------------------
+
+    def process_unit(self, pages: Sequence[bytes], *,
+                     counters: WorkCounters,
+                     agg_into: Optional[AggState] = None,
+                     offsets: Optional[Sequence[int]] = None) -> UnitPartial:
+        """Run the kernel over one I/O unit of real page bytes.
+
+        ``counters`` accumulates the unit's work in place; aggregate
+        queries fold into ``agg_into``. ``offsets`` labels each page with
+        its original position within the unit (after any pruning).
+        """
+        offsets = list(range(len(pages))) if offsets is None else list(offsets)
+        if not self.is_batch_exact:
+            return self._unit_via_pages(pages, counters, agg_into, offsets)
+        unit = UnitColumns(self.schema, pages)
+        n = unit.total_rows
+        counters.pages_parsed += unit.page_count
+        if self.layout is Layout.NSM:
+            counters.nsm_tuples_parsed += n
+        touched = touched_bytes(self.layout, self.schema,
+                                self.needed_columns, n)
+        columns = unit.decode(self.predicate_columns)
+        ctx = self.ctx_factory(columns, n, counters, self.layout)
+        if self.query.predicate is not None:
+            mask = self.query.predicate.evaluate(ctx, n)
+            survivors = np.nonzero(mask)[0]
+        else:
+            survivors = np.arange(n)
+        page_of = np.searchsorted(unit.starts, survivors, side="right") - 1
+        filtered = {name: columns[name][survivors]
+                    for name in self.predicate_columns}
+        if self.late_columns:
+            late, gather, elided = _late_materialize(
+                unit, survivors, self.late_columns, page_of=page_of)
+            counters.decode_bytes_elided += elided
+            for name in self.late_columns:
+                filtered[name] = late[name][gather]
+        counters.decoded_bytes += unit.decoded_nbytes
+        return self._finish(filtered, page_of, len(survivors),
+                            unit.page_count, offsets, counters, agg_into,
+                            touched)
+
+    def process_decoded_unit(self, columns: dict[str, np.ndarray],
+                             counts: Sequence[int], *,
+                             counters: WorkCounters,
+                             agg_into: Optional[AggState] = None,
+                             offsets: Optional[Sequence[int]] = None,
+                             ) -> UnitPartial:
+        """Run the kernel over unit columns another scan already decoded.
+
+        ``columns`` holds each column's values concatenated across the
+        pages whose live-row counts are ``counts`` (it may contain more
+        columns than this query needs — a shared scan decodes the member
+        union). Decode and page-setup work was charged elsewhere; only
+        this query's marginal work lands in ``counters``.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        page_count = len(counts)
+        offsets = (list(range(page_count)) if offsets is None
+                   else list(offsets))
+        starts = np.zeros(page_count + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        n = int(starts[-1])
+        if not self.is_batch_exact:
+            return self._decoded_via_pages(columns, starts, counts,
+                                           counters, agg_into, offsets)
+        ctx = self.ctx_factory(columns, n, counters, self.layout)
+        if self.query.predicate is not None:
+            mask = self.query.predicate.evaluate(ctx, n)
+            survivors = np.nonzero(mask)[0]
+        else:
+            survivors = np.arange(n)
+        page_of = np.searchsorted(starts, survivors, side="right") - 1
+        filtered = {name: columns[name][survivors]
+                    for name in self.needed_columns}
+        return self._finish(filtered, page_of, len(survivors), page_count,
+                            offsets, counters, agg_into, touched=0)
+
+    # -- per-page fallbacks (non-batch-exact expressions) --------------------
+
+    def _unit_via_pages(self, pages: Sequence[bytes],
+                        counters: WorkCounters,
+                        agg_into: Optional[AggState],
+                        offsets: Sequence[int]) -> UnitPartial:
+        chunks = []
+        touched = 0
+        rows = 0
+        for offset, page in zip(offsets, pages):
+            partial = self.page_kernel.process_page(page)
+            counters.add(partial.counters)
+            touched += partial.touched_nbytes
+            rows += partial.row_count
+            if partial.columns is not None:
+                chunks.append((offset, partial.columns))
+            else:
+                agg_into.merge(partial.agg, self.query.aggregates)
+        return UnitPartial(row_count=rows, chunks=chunks,
+                           touched_nbytes=touched)
+
+    def _decoded_via_pages(self, columns: dict[str, np.ndarray],
+                           starts: np.ndarray, counts: np.ndarray,
+                           counters: WorkCounters,
+                           agg_into: Optional[AggState],
+                           offsets: Sequence[int]) -> UnitPartial:
+        chunks = []
+        rows = 0
+        for position, offset in enumerate(offsets):
+            lo, hi = int(starts[position]), int(starts[position + 1])
+            page_columns = {name: values[lo:hi]
+                            for name, values in columns.items()}
+            partial = self.page_kernel.process_decoded(
+                page_columns, int(counts[position]))
+            counters.add(partial.counters)
+            rows += partial.row_count
+            if partial.columns is not None:
+                chunks.append((offset, partial.columns))
+            else:
+                agg_into.merge(partial.agg, self.query.aggregates)
+        return UnitPartial(row_count=rows, chunks=chunks, touched_nbytes=0)
+
+    # -- shared tail: probe, post-predicate, project / aggregate -------------
+
+    def _finish(self, filtered: dict[str, np.ndarray], page_of: np.ndarray,
+                k: int, page_count: int, offsets: Sequence[int],
+                counters: WorkCounters, agg_into: Optional[AggState],
+                touched: int) -> UnitPartial:
+        # Hash-join probe over the unit's concatenated survivors.
+        if self.query.join is not None:
+            probe_keys = filtered[self.query.join.probe_key]
+            probe_ctx = self.ctx_factory(filtered, k, counters, self.layout)
+            probe_ctx.charge_extract(k)
+            counters.hash_probes += k
+            match, positions = self.hash_table.probe(probe_keys)
+            matched = np.nonzero(match)[0]
+            filtered = {name: values[matched]
+                        for name, values in filtered.items()}
+            build_rows = positions[matched]
+            for name in self.query.join.payload:
+                filtered[name] = self.hash_table.payload[name][build_rows]
+            page_of = page_of[matched]
+            k = len(matched)
+
+        if self.query.post_predicate is not None:
+            post_ctx = self.ctx_factory(filtered, k, counters, self.layout)
+            post_mask = self.query.post_predicate.evaluate(post_ctx, k)
+            keep = np.nonzero(post_mask)[0]
+            filtered = {name: values[keep]
+                        for name, values in filtered.items()}
+            page_of = page_of[keep]
+            k = len(keep)
+
+        out_ctx = self.ctx_factory(filtered, k, counters, self.layout)
+
+        if self.query.select:
+            return self._project(out_ctx, page_of, k, page_count, offsets,
+                                 counters, touched)
+        if agg_into is None:
+            raise PlanError("aggregate unit needs a running AggState")
+        bounds = np.searchsorted(page_of, np.arange(page_count + 1))
+        if self.query.group_by is None:
+            self._fold_scalar_segments(out_ctx, k, bounds, page_count,
+                                       counters, agg_into)
+        else:
+            self._fold_grouped_segments(out_ctx, k, bounds, page_count,
+                                        counters, agg_into)
+        return UnitPartial(row_count=k, chunks=[], touched_nbytes=touched)
+
+    def _project(self, out_ctx: EvalContext, page_of: np.ndarray, k: int,
+                 page_count: int, offsets: Sequence[int],
+                 counters: WorkCounters, touched: int) -> UnitPartial:
+        out_columns = {}
+        for name, expr in self.query.select:
+            values = np.asarray(expr.evaluate(out_ctx, k))
+            if values.ndim == 0:
+                values = np.full(k, values)
+            out_columns[name] = values
+        if not self.per_page_output:
+            counters.output_values += k * len(self.query.select)
+            first = offsets[0] if offsets else 0
+            return UnitPartial(row_count=k,
+                               chunks=[(first, out_columns)],
+                               touched_nbytes=touched)
+        # Page-local DISTINCT / top-N: slice the unit's projected rows back
+        # into page segments and apply exactly the per-page treatment.
+        bounds = np.searchsorted(page_of, np.arange(page_count + 1))
+        chunks = []
+        total = 0
+        for position in range(page_count):
+            lo, hi = int(bounds[position]), int(bounds[position + 1])
+            chunk = {name: values[lo:hi]
+                     for name, values in out_columns.items()}
+            k_page = hi - lo
+            if self.query.distinct and k_page > 0:
+                counters.distinct_candidates += k_page
+                keep = distinct_indexes(chunk, self.query.output_names())
+                chunk = {name: values[keep]
+                         for name, values in chunk.items()}
+                k_page = len(keep)
+            if self.query.limit is not None and k_page > 0:
+                counters.topn_candidates += k_page
+                keep = top_n_indexes(chunk[self.query.order_by],
+                                     self.query.limit,
+                                     self.query.descending)
+                chunk = {name: values[keep]
+                         for name, values in chunk.items()}
+                k_page = len(keep)
+            counters.output_values += k_page * len(self.query.select)
+            total += k_page
+            chunks.append((offsets[position], chunk))
+        return UnitPartial(row_count=total, chunks=chunks,
+                           touched_nbytes=touched)
+
+    # -- aggregation: per-page-segment partials, folded in page order --------
+
+    def _fold_scalar_segments(self, out_ctx: EvalContext, k: int,
+                              bounds: np.ndarray, page_count: int,
+                              counters: WorkCounters,
+                              agg_into: AggState) -> None:
+        aggs = self.query.aggregates
+        evaluated: dict[str, np.ndarray] = {}
+        for agg in aggs:
+            # Per page the kernel charges its segment's row count
+            # (including empty segments, which charge 0) — the sum is k.
+            counters.aggregate_updates += k
+            if agg.kind == "count":
+                continue
+            values = np.asarray(agg.expr.evaluate(out_ctx, k))
+            if values.ndim == 0:
+                values = np.full(k, values)
+            if agg.kind == "sum":
+                values = values.astype(np.float64) \
+                    if values.dtype.kind == "f" else values.astype(np.int64)
+            evaluated[agg.name] = values
+        for position in range(page_count):
+            lo, hi = int(bounds[position]), int(bounds[position + 1])
+            k_page = hi - lo
+            for agg in aggs:
+                if agg.kind == "count":
+                    partial: Any = k_page
+                elif k_page == 0:
+                    partial = 0 if agg.kind == "sum" else None
+                else:
+                    segment = evaluated[agg.name][lo:hi]
+                    if agg.kind == "sum":
+                        partial = segment.sum().item()
+                    elif agg.kind == "min":
+                        partial = segment.min().item()
+                    else:
+                        partial = segment.max().item()
+                agg_into.values[agg.name] = _merge_scalar(
+                    agg.kind, agg_into.values.get(agg.name), partial)
+
+    def _fold_grouped_segments(self, out_ctx: EvalContext, k: int,
+                               bounds: np.ndarray, page_count: int,
+                               counters: WorkCounters,
+                               agg_into: AggState) -> None:
+        aggs = self.query.aggregates
+        names = self.query.group_by_columns
+        evaluated: dict[str, np.ndarray] = {}
+        if k:
+            # Empty segments early-return in the per-page kernel, so only
+            # the k surviving rows are ever charged.
+            out_ctx.charge_extract(k * len(names))
+            for agg in aggs:
+                counters.aggregate_updates += k
+                if agg.kind != "count":
+                    evaluated[agg.name] = np.asarray(
+                        agg.expr.evaluate(out_ctx, k))
+        # Merging a page partial always (re)writes the scalar slots, even
+        # for grouped queries where they stay None; mirror that so merged
+        # states compare equal.
+        for agg in aggs:
+            agg_into.values[agg.name] = agg_into.values.get(agg.name)
+        for position in range(page_count):
+            lo, hi = int(bounds[position]), int(bounds[position + 1])
+            k_page = hi - lo
+            if k_page == 0:
+                continue
+            segment = slice(lo, hi)
+            if len(names) == 1:
+                groups, inverse = np.unique(
+                    out_ctx.columns[names[0]][segment], return_inverse=True)
+                group_list = groups.tolist()
+            else:
+                key_dtype = np.dtype([(name, out_ctx.columns[name].dtype)
+                                      for name in names])
+                keys = np.empty(k_page, dtype=key_dtype)
+                for name in names:
+                    keys[name] = out_ctx.columns[name][segment]
+                groups, inverse = np.unique(keys, return_inverse=True)
+                group_list = [tuple(g) for g in groups.tolist()]
+            for agg in aggs:
+                if agg.kind == "count":
+                    partials = np.bincount(inverse, minlength=len(groups))
+                elif agg.kind == "sum":
+                    values = evaluated[agg.name][segment]
+                    weights = values.astype(np.float64)
+                    partials = np.bincount(inverse, weights=weights,
+                                           minlength=len(groups))
+                    if values.dtype.kind in "iu":
+                        partials = partials.astype(np.int64)
+                else:
+                    values = evaluated[agg.name][segment]
+                    reducer = np.minimum if agg.kind == "min" else np.maximum
+                    fill = values.max() if agg.kind == "min" \
+                        else values.min()
+                    partials = np.full(len(groups), fill, dtype=values.dtype)
+                    reducer.at(partials, inverse, values)
+                for group, partial in zip(group_list, partials.tolist()):
+                    entry = agg_into.groups.setdefault(group, {})
+                    entry[agg.name] = _merge_scalar(
+                        agg.kind, entry.get(agg.name), partial)

@@ -30,7 +30,7 @@ from repro.flash.ftl import PageMappedFtl
 from repro.flash.geometry import NandGeometry, NandTiming
 from repro.flash.nand import NandArray
 from repro.sim import Bandwidth, Event, Resource, Simulator, seize
-from repro.storage.page import verify_page
+from repro.storage.page import verify_pages
 
 #: ECC read-retry rounds (re-sense with shifted thresholds) before a page
 #: is declared uncorrectable.
@@ -71,18 +71,16 @@ class FlashController:
         """
         obs = self.sim.obs
         by_channel: dict[int, int] = defaultdict(int)
-        ppns = []
+        channel_of = self.geometry.channel_of
         if obs is None:
-            for lpn in lpns:
-                ppn = self.ftl.lookup(lpn)
-                ppns.append(ppn)
-                by_channel[self.geometry.channel_of(ppn)] += 1
+            ppns = self.ftl.lookup_many(lpns)
+            for ppn in ppns:
+                by_channel[channel_of(ppn)] += 1
         else:
             with obs.span("ftl.lookup", track="ftl", pages=len(lpns)):
-                for lpn in lpns:
-                    ppn = self.ftl.lookup(lpn)
-                    ppns.append(ppn)
-                    by_channel[self.geometry.channel_of(ppn)] += 1
+                ppns = self.ftl.lookup_many(lpns)
+                for ppn in ppns:
+                    by_channel[channel_of(ppn)] += 1
             obs.metrics.counter("ftl.lookups").inc(len(lpns))
             for channel, count in by_channel.items():
                 obs.metrics.counter("nand.read.pages",
@@ -112,9 +110,8 @@ class FlashController:
 
         pages = [self.nand.read(ppn) for ppn in ppns]
         if self.verify_ecc:
-            for page in pages:
-                verify_page(page)
-                self.ecc_pages_checked += 1
+            verify_pages(pages)
+            self.ecc_pages_checked += len(pages)
         return pages
 
     def write_lpns(self, lpns: Sequence[int],

@@ -127,6 +127,17 @@ class PageMappedFtl:
         except KeyError:
             raise DeviceError(f"LPN {lpn} is not mapped") from None
 
+    def lookup_many(self, lpns) -> list[int]:
+        """PPNs for a whole I/O unit of LPNs; raises on the first unmapped."""
+        self._check_recovered()
+        mapping = self._map
+        try:
+            return [mapping[lpn] for lpn in lpns]
+        except KeyError:
+            for lpn in lpns:
+                self.lookup(lpn)
+            raise  # unreachable: the loop above raises the DeviceError
+
     def is_mapped(self, lpn: int) -> bool:
         """True when ``lpn`` currently holds data."""
         return lpn in self._map
@@ -158,6 +169,78 @@ class PageMappedFtl:
         self.stats.host_writes += 1
         self._map[lpn] = ppn
         return ppn
+
+    def write_bulk(self, first_lpn: int, pages: list[bytes]) -> None:
+        """Write a run of fresh logical pages with one Python loop.
+
+        Produces byte-for-byte the FTL and NAND state the equivalent
+        sequence of :meth:`write` calls would — same PPNs (so the same
+        channel striping and therefore the same simulated read timing),
+        same write sequence numbers, same out-of-band metadata, same
+        stats — while skipping the per-page call fan-out. The fast path
+        only applies when no :meth:`write` call could deviate from pure
+        round-robin allocation: no fault plan armed, every LPN unmapped,
+        capacity ample, and every die keeping GC headroom throughout the
+        load. Anything else falls back to the per-page loop.
+        """
+        self._check_recovered()
+        n = len(pages)
+        if n == 0:
+            return
+        self._check_lpn(first_lpn)
+        dies = self._dies
+        die_count = len(dies)
+        geometry = self.geometry
+        pages_per_block = geometry.pages_per_block
+        headroom = 2 * pages_per_block
+        # Pure round-robin assigns each die an exact share; free pages only
+        # shrink during the load, so checking the *final* headroom covers
+        # every intermediate _choose_die / _maybe_collect decision.
+        shares = [n // die_count] * die_count
+        for k in range(n % die_count):
+            shares[(self._next_die + k) % die_count] += 1
+        fast = (self.nand.faults is None
+                and len(self._map) + n <= self.logical_capacity_pages
+                and all(self._die_free_pages(die) - shares[i] > headroom
+                        for i, die in enumerate(dies))
+                and not any(first_lpn + k in self._map for k in range(n)))
+        if not fast:
+            for offset, data in enumerate(pages):
+                self.write(first_lpn + offset, data)
+            return
+        page_nbytes = geometry.page_nbytes
+        nand = self.nand
+        data_map, state_map, oob_map = nand._data, nand._state, nand._oob
+        valid = self._valid_count
+        lpn_map = self._map
+        seq = self._write_seq
+        index = self._next_die
+        blocks_per_chip = geometry.blocks_per_chip
+        chips_per_channel = geometry.chips_per_channel
+        for offset, data in enumerate(pages):
+            if len(data) != page_nbytes:
+                raise FlashError(
+                    f"program of {len(data)} bytes; page is {page_nbytes}")
+            die = dies[index]
+            index = (index + 1) % die_count
+            if die.active_block < 0 or die.next_page >= pages_per_block:
+                die.active_block = die.free_blocks.pop(0)
+                die.next_page = 0
+            ppn = (((die.channel * chips_per_channel + die.chip)
+                    * blocks_per_chip + die.active_block)
+                   * pages_per_block + die.next_page)
+            die.next_page += 1
+            seq += 1
+            data_map[ppn] = bytes(data)
+            state_map[ppn] = PageState.PROGRAMMED
+            oob_map[ppn] = (first_lpn + offset, seq)
+            key = (die.channel, die.chip, die.active_block)
+            valid[key] = valid.get(key, 0) + 1
+            lpn_map[first_lpn + offset] = ppn
+        nand.programs += n
+        self.stats.host_writes += n
+        self._write_seq = seq
+        self._next_die = index
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page (TRIM); no-op if unmapped."""

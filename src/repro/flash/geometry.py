@@ -82,7 +82,10 @@ class NandGeometry:
 
     def channel_of(self, ppn: int) -> int:
         """Channel a PPN lives on."""
-        return self.unflatten(ppn)[0]
+        if not 0 <= ppn < self._total_pages:
+            raise FlashError(f"PPN {ppn} out of range")
+        # The channel is the top field of the flattened address.
+        return ppn // (self.chips_per_channel * self._pages_per_chip)
 
     def _check(self, channel: int, chip: int, block: int, page: int) -> None:
         if not (0 <= channel < self.channels

@@ -54,11 +54,14 @@ class NandArray:
 
     def read(self, ppn: int) -> bytes:
         """Read a programmed page's bytes."""
+        # Fast path: a PROGRAMMED state entry implies the PPN is valid
+        # (only program() creates one), so the range check can wait for
+        # the error path.
+        if self._state.get(ppn) is PageState.PROGRAMMED:
+            self.reads += 1
+            return self._data[ppn]
         self._check_ppn(ppn)
-        if self.state(ppn) is not PageState.PROGRAMMED:
-            raise FlashError(f"read of {self.state(ppn).value} page {ppn}")
-        self.reads += 1
-        return self._data[ppn]
+        raise FlashError(f"read of {self.state(ppn).value} page {ppn}")
 
     def program(self, ppn: int, data: bytes,
                 oob: Optional[tuple[int, int]] = None) -> None:

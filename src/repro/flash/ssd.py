@@ -172,8 +172,7 @@ class Ssd:
         buffer pool). Returns the extent's first LPN.
         """
         first = self.allocate_extent(len(pages))
-        for offset, data in enumerate(pages):
-            self.ftl.write(first + offset, data)
+        self.ftl.write_bulk(first, list(pages))
         return first
 
     def register_extent_stats(self, first_lpn: int, stats) -> None:

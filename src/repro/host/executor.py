@@ -21,7 +21,8 @@ from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 
 import numpy as np
 
-from repro.engine.kernels import AggState, BuildCollector, PageKernel
+from repro.engine.expressions import EvalContext
+from repro.engine.kernels import AggState, BatchKernel, BuildCollector
 from repro.engine.plans import Query
 from repro.errors import (
     DeviceTimeoutError,
@@ -44,6 +45,7 @@ from repro.smart.protocol import OpenParams, SessionStatus
 
 if TYPE_CHECKING:
     from repro.host.db import Database
+    from repro.storage.schema import Schema
 
 
 @dataclass
@@ -57,10 +59,51 @@ class QueryOutcome:
     bp_misses: int = 0
 
 
+def _empty_select_columns(query: Query, schema: "Schema",
+                          build_schema: Optional["Schema"] = None,
+                          ) -> dict[str, np.ndarray]:
+    """A zero-row output chunk with the query's true column dtypes.
+
+    Evaluates the select expressions over typed empty input columns (plus
+    typed join-payload columns from ``build_schema``), so an empty result
+    carries the same dtypes a populated one would.
+    """
+    from repro.storage.layout import Layout
+
+    columns = {
+        name: np.empty(0, dtype=schema.column(name).ctype.numpy_dtype)
+        for name in query.probe_side_columns()}
+    if query.join is not None:
+        if build_schema is None:
+            raise PlanError("join query needs the build schema to type "
+                            "an empty result")
+        for name in query.join.payload:
+            columns[name] = np.empty(
+                0, dtype=build_schema.column(name).ctype.numpy_dtype)
+    ctx = EvalContext(columns, 0, WorkCounters(), Layout.PAX)
+    out = {}
+    for name, expr in query.select:
+        values = np.asarray(expr.evaluate(ctx, 0))
+        if values.ndim == 0:
+            values = np.full(0, values)
+        out[name] = values
+    return out
+
+
 def _merge_select_chunks(query: Query,
-                         chunks: list[dict[str, np.ndarray]]) -> np.ndarray:
-    """Concatenate per-page output columns into one structured array."""
+                         chunks: list[dict[str, np.ndarray]],
+                         schema: Optional["Schema"] = None,
+                         build_schema: Optional["Schema"] = None,
+                         ) -> np.ndarray:
+    """Concatenate per-page output columns into one structured array.
+
+    With ``schema`` (and ``build_schema`` for joins), an entirely empty
+    result still gets the query's true output dtypes instead of the
+    legacy float64 default.
+    """
     names = query.output_names()
+    if not chunks and schema is not None:
+        chunks = [_empty_select_columns(query, schema, build_schema)]
     parts = {name: [c[name] for c in chunks if len(c[name])]
              for name in names}
     arrays = {}
@@ -153,8 +196,8 @@ def host_query_process(db: "Database", query: Query,
                 outcome.counters.add(counters)
         hash_table = collector.finish()
 
-    kernel = PageKernel(query, table.schema, table.layout,
-                        hash_table=hash_table)
+    kernel = BatchKernel(query, table.schema, table.layout,
+                         hash_table=hash_table)
     window_gate = Resource(db.sim, window, name="host-scan-window")
     select_mode = bool(query.select)
     agg_total = AggState()
@@ -168,19 +211,14 @@ def host_query_process(db: "Database", query: Query,
             pages = yield from _fetch_unit(db, device, table, lpns, outcome)
             counters = WorkCounters()
             counters.io_units += 1
-            out_chunks = []
-            for page in pages:
-                partial = kernel.process_page(page)
-                counters.add(partial.counters)
-                if select_mode:
-                    out_chunks.append(partial.columns)
-                else:
-                    agg_total.merge(partial.agg, query.aggregates)
+            partial = kernel.process_unit(
+                pages, counters=counters,
+                agg_into=None if select_mode else agg_total)
             yield from db.machine.compute(
                 db.costs.cycles(counters, large_hash_table=large_table))
             outcome.counters.add(counters)
             if select_mode:
-                chunk_slots[index] = out_chunks
+                chunk_slots[index] = [chunk for __, chunk in partial.chunks]
         finally:
             window_gate.release()
 
@@ -194,7 +232,10 @@ def host_query_process(db: "Database", query: Query,
 
     if select_mode:
         flat = [chunk for slot in chunk_slots for chunk in (slot or [])]
-        outcome.rows = _merge_select_chunks(query, flat)
+        build_schema = (db.catalog.table(query.join.build_table).schema
+                        if query.join is not None else None)
+        outcome.rows = _merge_select_chunks(query, flat, table.schema,
+                                            build_schema)
     else:
         outcome.rows = _finalize_aggregates(query, agg_total)
     outcome.counters.ecc_retries += _ecc_retries(device) - ecc_before
@@ -388,7 +429,10 @@ def _pushdown_attempt(db: "Database", device: SmartSsd, query: Query,
     if query.select:
         payload.sort(key=lambda item: item[0])
         flat = [chunk for __, chunks in payload for chunk in chunks]
-        outcome.rows = _merge_select_chunks(query, flat)
+        build_schema = (db.catalog.table(query.join.build_table).schema
+                        if query.join is not None else None)
+        outcome.rows = _merge_select_chunks(query, flat, table.schema,
+                                            build_schema)
     else:
         state = AggState()
         for tag, partial_state in payload:
@@ -602,7 +646,7 @@ def _finish_shared_member(db: "Database", handle: SharedScanHandle,
     if query.select:
         chunk_entries.sort(key=lambda entry: entry[0])
         flat = [chunk for __, chunks in chunk_entries for chunk in chunks]
-        outcome.rows = _merge_select_chunks(query, flat)
+        outcome.rows = _merge_select_chunks(query, flat, handle.table.schema)
     else:
         state = agg_state if agg_state is not None else AggState()
         # Final merge/divide happens on the host, like the solo path.

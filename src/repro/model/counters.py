@@ -55,6 +55,14 @@ class WorkCounters:
     shared_scans_joined: int = 0    # ran as a member of a shared device scan
     shared_scan_late_attaches: int = 0  # joined a scan already in progress
 
+    # Decode accounting (not priced — DRAM traffic is charged from
+    # touched_bytes regardless of how the decode was batched; these two
+    # make late materialization's savings observable).
+    decoded_bytes: int = 0          # column-value bytes actually materialized
+    decode_bytes_elided: int = 0    # bytes late materialization skipped
+    #                                 (non-predicate columns of pages whose
+    #                                 rows all failed the filter)
+
     def add(self, other: "WorkCounters") -> None:
         """Accumulate another counter set into this one."""
         mine = self.__dict__

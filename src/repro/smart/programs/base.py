@@ -27,6 +27,7 @@ import numpy as np
 from repro.engine.kernels import (
     HASH_ENTRY_OVERHEAD,
     AggState,
+    BatchKernel,
     BuildCollector,
     PageKernel,
     TopNState,
@@ -269,8 +270,8 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
         hash_table = collector.finish()
 
     # Phase 2: windowed pipeline over the fact heap.
-    kernel = PageKernel(query, heap.schema, heap.layout,
-                        hash_table=hash_table)
+    kernel = BatchKernel(query, heap.schema, heap.layout,
+                         hash_table=hash_table)
     window = Resource(sim, args.window, name=f"session-{session.id}-window")
     agg_total = AggState()
     select_mode = bool(query.select)
@@ -315,23 +316,23 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
                 pages = yield from device.internal_read(lpns)
             touched = 0
             out_columns: list[dict] = []
-            rows = 0
-            for offset, page in zip(offsets, pages):
-                partial = kernel.process_page(page)
-                counters.add(partial.counters)
-                touched += partial.touched_nbytes
-                rows += partial.row_count
+            if pages:
+                partial = kernel.process_unit(
+                    pages, counters=counters,
+                    agg_into=None if select_mode else agg_total,
+                    offsets=offsets)
+                touched = partial.touched_nbytes
                 if device_topn:
-                    # Global row positions in extent scan order: the tie
-                    # break the host's concatenated merge would use.
-                    base = (index * args.io_unit_pages + offset) * capacity
-                    counters.topn_candidates += partial.row_count
-                    topn.offer(base + np.arange(partial.row_count),
-                               partial.columns)
+                    for offset, chunk in partial.chunks:
+                        k = len(next(iter(chunk.values()))) if chunk else 0
+                        # Global row positions in extent scan order: the tie
+                        # break the host's concatenated merge would use.
+                        base = ((index * args.io_unit_pages + offset)
+                                * capacity)
+                        counters.topn_candidates += k
+                        topn.offer(base + np.arange(k), chunk)
                 elif select_mode:
-                    out_columns.append(partial.columns)
-                else:
-                    agg_total.merge(partial.agg, query.aggregates)
+                    out_columns = [chunk for __, chunk in partial.chunks]
             yield from device.controller.dram_bus.transfer(
                 touched,
                 None if obs is None else obs.span(
@@ -373,7 +374,7 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
         if device_topn:
             final = topn.finish()
             if final is None:
-                final = _empty_select_chunk(kernel)
+                final = _empty_select_chunk(kernel.page_kernel)
             nbytes = RESULT_FRAME_NBYTES + sum(
                 array.nbytes for array in final.values())
             yield from device.controller.dram_bus.transfer(
@@ -385,7 +386,7 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
         elif select_mode and not chunks_pushed[0]:
             # Every page was pruned: ship one typed empty chunk so the
             # host merge keeps the query's output dtypes.
-            proto = _empty_select_chunk(kernel)
+            proto = _empty_select_chunk(kernel.page_kernel)
             yield from device.controller.dram_bus.transfer(
                 RESULT_FRAME_NBYTES,
                 None if obs is None else obs.span(
@@ -396,7 +397,8 @@ def _execute_query_body(device: "SmartSsd", session: "Session",
             # Zero-row identity: if skipping pruned every page, this gives
             # the same count=0 / sum=0 result an unpruned scan of zero
             # qualifying rows yields; otherwise it merges as a no-op.
-            agg_total.merge(_empty_partial(kernel).agg, query.aggregates)
+            agg_total.merge(_empty_partial(kernel.page_kernel).agg,
+                            query.aggregates)
             nbytes = RESULT_FRAME_NBYTES + AGG_VALUE_NBYTES * (
                 len(query.aggregates) * max(1, len(agg_total.groups) or 1))
             yield from device.controller.dram_bus.transfer(

@@ -32,15 +32,15 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
 from repro.engine.expressions import CachedEvalContext
-from repro.engine.kernels import AggState, PageKernel
+from repro.engine.kernels import AggState, BatchKernel
 from repro.engine.plans import Query
 from repro.engine.pruning import PagePruner
 from repro.errors import ProtocolError
 from repro.model.counters import WorkCounters
 from repro.sim import Event, Resource
 from repro.storage.heapfile import HeapFile
-from repro.storage.layout import Layout, decode_columns, touched_bytes
-from repro.storage.page import PageHeader
+from repro.storage.layout import Layout, touched_bytes
+from repro.storage.unitdecode import UnitColumns
 
 from repro.smart.programs.base import (
     AGG_VALUE_NBYTES,
@@ -120,9 +120,9 @@ class _Member:
         # The cold kernel charges extraction like a solo scan; the cached
         # kernel re-reads values a sibling already pulled through the
         # device cache this unit.
-        self.kernel_cold = PageKernel(query, heap.schema, heap.layout)
-        self.kernel_cached = PageKernel(query, heap.schema, heap.layout,
-                                        ctx_factory=CachedEvalContext)
+        self.kernel_cold = BatchKernel(query, heap.schema, heap.layout)
+        self.kernel_cached = BatchKernel(query, heap.schema, heap.layout,
+                                         ctx_factory=CachedEvalContext)
         self.remaining = set(range(unit_count))  # units not yet dispatched
         self.left = unit_count                   # units not yet processed
         self.counters = WorkCounters()
@@ -233,7 +233,7 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
         if member.select and not member.chunks_pushed:
             # Every page was pruned for this rider: ship one typed empty
             # chunk so the host merge keeps the query's output dtypes.
-            proto = _empty_select_chunk(member.kernel_cold)
+            proto = _empty_select_chunk(member.kernel_cold.page_kernel)
             yield from device.controller.dram_bus.transfer(
                 RESULT_FRAME_NBYTES,
                 None if obs is None else obs.span(
@@ -307,26 +307,46 @@ def _shared_scan_body(device: "SmartSsd", session: "Session",
                     if name not in union:
                         union.append(name)
             touched = 0
-            for (__, qualifying), page in zip(page_plan, pages):
-                header = PageHeader.decode(page)
-                n = header.tuple_count
-                shared.pages_parsed += 1
+            if pages:
+                # Decode the member-union columns for the whole unit in one
+                # batched pass; riders then run over contiguous row slices.
+                unit = UnitColumns(schema, pages)
+                shared.pages_parsed += unit.page_count
                 if layout is Layout.NSM:
-                    shared.nsm_tuples_parsed += n
-                columns = decode_columns(schema, page, union, header=header)
-                touched += touched_bytes(layout, schema, union, n)
-                # The lowest-ranked rider *of this page* pays the cold
-                # extraction price; the rest ride the device cache.
-                for rank, member in enumerate(qualifying):
-                    kernel = (member.kernel_cold if rank == 0
-                              else member.kernel_cached)
-                    partial = kernel.process_decoded(columns, n)
-                    marginal[member.index].add(partial.counters)
-                    if member.select:
-                        chunks[member.index].append(partial.columns)
-                    else:
-                        member.agg.merge(partial.agg,
-                                         member.query.aggregates)
+                    shared.nsm_tuples_parsed += unit.total_rows
+                columns = unit.decode(union)
+                touched = touched_bytes(layout, schema, union,
+                                        unit.total_rows)
+                shared.decoded_bytes += unit.decoded_nbytes
+                for member in targets:
+                    # The lowest-ranked rider *of a page* pays the cold
+                    # extraction price; the rest ride the device cache.
+                    # Batch each member's qualifying pages into maximal
+                    # runs of consecutive pages with the same coldness —
+                    # each run is one contiguous row slice of the unit.
+                    runs: list[list] = []
+                    for p, (__, qualifying) in enumerate(page_plan):
+                        if member not in qualifying:
+                            continue
+                        cold = qualifying[0] is member
+                        if runs and runs[-1][1] == p and runs[-1][2] == cold:
+                            runs[-1][1] = p + 1
+                        else:
+                            runs.append([p, p + 1, cold])
+                    for a, b, cold in runs:
+                        kernel = (member.kernel_cold if cold
+                                  else member.kernel_cached)
+                        lo, hi = int(unit.starts[a]), int(unit.starts[b])
+                        run_columns = {name: values[lo:hi]
+                                       for name, values in columns.items()}
+                        partial = kernel.process_decoded_unit(
+                            run_columns, unit.counts[a:b],
+                            counters=marginal[member.index],
+                            agg_into=(None if member.select
+                                      else member.agg))
+                        if member.select:
+                            chunks[member.index].extend(
+                                chunk for __, chunk in partial.chunks)
             # The unit's page bytes cross the DRAM bus once, however many
             # queries consume them — the scan-sharing dividend.
             yield from device.controller.dram_bus.transfer(

@@ -41,6 +41,7 @@ from repro.storage.types import (
     Int32Type,
     Int64Type,
 )
+from repro.storage.unitdecode import UnitColumns, decode_unit_columns
 
 __all__ = [
     "BloomFilter",
@@ -61,9 +62,11 @@ __all__ = [
     "PageStats",
     "Schema",
     "StatsConfig",
+    "UnitColumns",
     "build_heap_pages",
     "decode_columns",
     "decode_page",
+    "decode_unit_columns",
     "encode_page",
     "encode_pages",
 ]

@@ -96,3 +96,22 @@ def verify_page(page: bytes) -> PageHeader:
             f"page {header.page_index} payload CRC mismatch "
             f"(stored {header.payload_crc:#x}, actual {actual:#x})")
     return header
+
+
+_MAGIC_BYTES = _MAGIC.to_bytes(4, "little")
+
+
+def verify_pages(pages) -> None:
+    """Batched :func:`verify_page` over many pages (no header objects).
+
+    Checks magic and payload CRC with raw byte slices; any page failing
+    the fast check is re-verified with :func:`verify_page` so corruption
+    raises the exact same StorageError it always did.
+    """
+    crc32 = zlib.crc32
+    for page in pages:
+        if (len(page) < PAGE_HEADER_NBYTES
+                or page[:4] != _MAGIC_BYTES
+                or crc32(memoryview(page)[PAGE_HEADER_NBYTES:]) & 0xFFFFFFFF
+                != int.from_bytes(page[16:20], "little")):
+            verify_page(page)

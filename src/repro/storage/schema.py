@@ -57,6 +57,13 @@ class Schema:
         self._numpy_dtype = np.dtype(
             [(c.name, c.ctype.numpy_dtype) for c in self.columns])
         self._hash = hash(self.columns)
+        # Flat primitive signature mirroring Column/ColumnType equality
+        # (name, exact type, type attributes). Schemas key the layout
+        # lru_caches, so __eq__ runs on every geometry lookup; comparing
+        # one tuple of primitives beats a Python call per column.
+        self._signature = tuple(
+            (c.name, type(c.ctype), tuple(sorted(c.ctype.__dict__.items())))
+            for c in self.columns)
 
     @property
     def record_nbytes(self) -> int:
@@ -110,7 +117,10 @@ class Schema:
         return np.empty(0, dtype=self.numpy_dtype())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Schema) and self.columns == other.columns
+        if self is other:
+            return True
+        return (isinstance(other, Schema)
+                and self._signature == other._signature)
 
     def __hash__(self) -> int:
         return self._hash
