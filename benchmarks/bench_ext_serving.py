@@ -1,0 +1,36 @@
+"""Extension E6: multi-tenant serving over a sharded Smart SSD fleet.
+
+The ISSUE-8 deliverable: replaying a mixed two-tenant workload against a
+hash-sharded LINEITEM must deliver >= 2.5x virtual-time queries/sec at
+four shards versus one (scatter/gather + shared scans), and a repeated
+query must be served from the result cache at >= 50x lower virtual
+latency than its cold run. Sharded answers stay bit-identical to the
+single-device plans (covered unit-by-unit in tests/test_serve.py).
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ext_serving
+
+
+def test_ext_serving(benchmark, emit):
+    result = emit(run_once(benchmark, ext_serving))
+    # rows: [shards, window s, queries/s, p50 ms, p99 ms, cold ms,
+    #        cache hit ms, hit speedup]
+    by_shards = {row[0]: row for row in result.rows}
+
+    # The headline claim: >= 2.5x queries/sec at 4 shards vs 1.
+    assert by_shards[4][2] / by_shards[1][2] >= 2.5
+    # Throughput grows monotonically with the fleet.
+    qps = [row[2] for row in result.rows]
+    assert all(b > a for a, b in zip(qps, qps[1:]))
+    # Tail latency shrinks with the fleet too: each logical query fans
+    # out into smaller per-shard scans.
+    p99 = [row[4] for row in result.rows]
+    assert all(b < a for a, b in zip(p99, p99[1:]))
+    # Cache hits are O(1) in virtual time: >= 50x under the cold run in
+    # every world, and flat across shard counts.
+    for row in result.rows:
+        assert row[7] >= 50.0
+    hit_ms = {row[6] for row in result.rows}
+    assert len(hit_ms) == 1

@@ -30,7 +30,7 @@ import shutil
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "BENCH_PR7.json"
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR8.json"
 
 #: Allowed fractional regression before the gate fails.
 TOLERANCE = 0.25
@@ -40,13 +40,19 @@ TOLERANCE = 0.25
 #: 8 vs serial, with real NAND traffic elided by scan sharing. The ISSUE-6
 #: contract: a low-selectivity window over a clustered extent reads >= 5x
 #: fewer NAND pages with per-page statistics, and ORDER BY ... LIMIT ships
-#: >= 5x fewer interface bytes than the full qualifying set.
+#: >= 5x fewer interface bytes than the full qualifying set. The ISSUE-8
+#: contract: the serving layer's scatter/gather delivers >= 2.5x virtual
+#: queries/sec at four shards vs one, and result-cache hits come back
+#: >= 50x faster than the cold run in every sharded world.
 FLOORS = {
     "sched_fanin8_speedup_x": 2.0,
     "sched_fanin8_queries_per_vs": 600.0,
     "sched_fanin8_saved_page_reads": 1000.0,
     "skip_q6_page_reduction_x": 5.0,
     "topn_interface_shrink_x": 5.0,
+    "serve_shard_scaling_x": 2.5,
+    "serve_4shard_queries_per_vs": 350.0,
+    "serve_cache_hit_speedup_x": 50.0,
 }
 
 #: Calibration-unit bounds locking in ISSUE-7's batch-execution wins: the

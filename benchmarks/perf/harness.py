@@ -6,7 +6,9 @@ library runs, including CI. It measures four micro-benchmarks (page encode,
 page decode, kernel page processing, DES event throughput), two end-to-end
 figures (Fig. 3 Q6 and Fig. 5 join selectivity), scheduler scan-sharing
 throughput in *virtual* time, data-skipping page-read reduction and top-N
-interface shrink (both machine-independent), and one more
+interface shrink (both machine-independent), the serving layer's sharded
+scatter/gather scaling and result-cache hit speedup (also virtual-time
+figures from the E6 traffic replay), and one more
 machine-independent metric: the total Python function-call count of a fixed
 workload, captured with cProfile. Wall-clock numbers are normalized by a
 CPU calibration loop so the regression gate (``check_regression.py``) is
@@ -29,7 +31,7 @@ from pathlib import Path
 import numpy as np
 
 #: The PR whose baseline this harness emits by default.
-CURRENT_PR = 7
+CURRENT_PR = 8
 
 
 def default_output(pr: int = CURRENT_PR) -> Path:
@@ -294,6 +296,26 @@ def bench_skipping():
     }
 
 
+def bench_serving():
+    """Multi-tenant serving over a sharded fleet, in virtual time.
+
+    Deterministic floor-gated figures from the E6 traffic replay
+    (``repro.bench.ablations.ext_serving``): scatter/gather must deliver
+    >= 2.5x queries/sec at four shards versus one, and a repeated query
+    must come back from the result cache >= 50x faster than its cold run.
+    """
+    from repro.bench.ablations import ext_serving
+
+    result = ext_serving()
+    by_shards = {row[0]: row for row in result.rows}
+    return {
+        "serve_shard_scaling_x": by_shards[4][2] / by_shards[1][2],
+        "serve_4shard_queries_per_vs": by_shards[4][2],
+        "serve_cache_hit_speedup_x": min(row[7] for row in result.rows),
+        "serve_4shard_p99_vms": by_shards[4][4],
+    }
+
+
 def count_calls():
     """Total function calls of a fixed workload — machine-independent."""
     from repro.bench.figures import fig3_q6
@@ -325,7 +347,8 @@ def main(argv=None) -> int:
     calibration = calibrate()
     metrics = {}
     for section in (bench_encode, bench_decode, bench_kernel, bench_des,
-                    bench_figures, bench_scheduler, bench_skipping):
+                    bench_figures, bench_scheduler, bench_skipping,
+                    bench_serving):
         section_metrics = section()
         metrics.update(section_metrics)
         for key, value in section_metrics.items():

@@ -36,7 +36,7 @@ def main() -> None:
     estimates = {}
     for label, device, layout, placement in CONFIGS:
         db = make_tpch_db(device, layout, RUN_SCALE)
-        report = db.execute(query, placement=placement)
+        report = db.execute_placed(query, placement)
         estimates[label] = extrapolate_run(db, query, report,
                                            PAPER_SCALE / RUN_SCALE)
 

@@ -38,7 +38,7 @@ def main() -> None:
         legs = {}
         for placement in ("host", "smart"):
             db = make_synthetic_db(DeviceKind.SMART, Layout.PAX, RUN_SCALE)
-            report = db.execute(query, placement=placement)
+            report = db.execute_placed(query, placement)
             legs[placement] = extrapolate_run(db, query, report,
                                               1.0 / RUN_SCALE)
         db = make_synthetic_db(DeviceKind.SMART, Layout.PAX, RUN_SCALE)

@@ -23,24 +23,25 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+import repro
+from repro import Placement, Session
 from repro.engine import AggSpec, Col, Compare, Const, Query
-from repro.host.db import Database
 from repro.host.optimizer import choose_placement
-from repro.host.planner import explain
 from repro.storage import Column, Int32Type, Int64Type, Layout, Schema
 
 
-def load_wide_table(db: Database) -> None:
+def load_wide_table(session: Session) -> None:
     schema = Schema([Column(f"m{i}", Int32Type()) for i in range(1, 65)])
     rng = np.random.default_rng(7)
     n = 400_000
     rows = np.empty(n, dtype=schema.numpy_dtype())
     for i in range(1, 65):
         rows[f"m{i}"] = rng.integers(0, 10_000, n)
-    db.create_table("metrics_wide", schema, Layout.PAX, rows, "smart-ssd")
+    session.create_table("metrics_wide", schema, Layout.PAX, rows,
+                         "smart-ssd")
 
 
-def load_narrow_table(db: Database) -> None:
+def load_narrow_table(session: Session) -> None:
     schema = Schema([
         Column("reading_id", Int64Type()),
         Column("sensor_id", Int32Type()),
@@ -52,17 +53,18 @@ def load_narrow_table(db: Database) -> None:
     rows["reading_id"] = np.arange(n)
     rows["sensor_id"] = rng.integers(0, 1000, n)
     rows["value"] = rng.integers(0, 10_000, n)
-    db.create_table("readings_narrow", schema, Layout.PAX, rows, "smart-ssd")
+    session.create_table("readings_narrow", schema, Layout.PAX, rows,
+                         "smart-ssd")
 
 
-def demo(db: Database, query: Query) -> None:
-    print(explain(db, query, placement="smart"))
-    decision = choose_placement(db, query)
+def demo(session: Session, query: Query) -> None:
+    print(session.explain(query, placement=Placement.SMART))
+    decision = choose_placement(session.db, query)
     print(f"optimizer (cold buffer pool): {decision.placement} — "
           f"{decision.reason}")
 
-    smart = db.execute(query, placement="smart")
-    host = db.execute(query, placement="host")
+    smart = session.execute(query, placement=Placement.SMART)
+    host = session.execute(query, placement=Placement.HOST)
     assert host.rows == smart.rows, "placements must agree"
     print(f"result: {host.rows[0]}")
     ratio = host.elapsed_seconds / smart.elapsed_seconds
@@ -76,15 +78,15 @@ def demo(db: Database, query: Query) -> None:
 
 
 def main() -> None:
-    db = Database()
-    db.create_smart_ssd()
-    load_wide_table(db)
-    load_narrow_table(db)
+    session = repro.connect()
+    session.db.create_smart_ssd()
+    load_wide_table(session)
+    load_narrow_table(session)
 
     print("=" * 72)
     print("Case 1 — wide table: pushdown should win")
     print("=" * 72)
-    demo(db, Query(
+    demo(session, Query(
         name="wide-aggregate",
         table="metrics_wide",
         predicate=Compare(Col("m1"), ">", Const(9_900)),
@@ -103,7 +105,7 @@ def main() -> None:
         aggregates=(AggSpec("count", None, "n_hot"),
                     AggSpec("sum", Col("value"), "total")),
     )
-    demo(db, narrow_query)
+    demo(session, narrow_query)
 
     print()
     print("=" * 72)
@@ -111,7 +113,7 @@ def main() -> None:
     print("=" * 72)
     # Case 2's conventional run cached the narrow table; now the optimizer
     # knows a host scan is nearly free.
-    decision = choose_placement(db, narrow_query)
+    decision = choose_placement(session.db, narrow_query)
     print(f"optimizer (hot buffer pool): {decision.placement} — "
           f"{decision.reason}")
 

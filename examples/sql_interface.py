@@ -14,7 +14,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.host.db import Database
+import repro
+from repro import Placement
 from repro.storage import Layout
 from repro.workloads import (
     generate_lineitem,
@@ -27,12 +28,12 @@ SCALE = 0.005  # 30,000 LINEITEM rows
 
 
 def main() -> None:
-    db = Database()
-    db.create_smart_ssd()
-    db.create_table("lineitem", lineitem_schema(), Layout.PAX,
-                    generate_lineitem(SCALE), "smart-ssd")
-    db.create_table("part", part_schema(), Layout.PAX,
-                    generate_part(SCALE), "smart-ssd")
+    session = repro.connect()
+    session.db.create_smart_ssd()
+    session.create_table("lineitem", lineitem_schema(), Layout.PAX,
+                         generate_lineitem(SCALE), "smart-ssd")
+    session.create_table("part", part_schema(), Layout.PAX,
+                         generate_part(SCALE), "smart-ssd")
 
     queries = {
         "TPC-H Q6 (the paper's §4.2.1 scan)": """
@@ -76,8 +77,8 @@ def main() -> None:
         print("=" * 72)
         print(title)
         print("=" * 72)
-        print(db.explain(sql, placement="smart"))
-        report = db.sql(sql, placement="smart")
+        print(session.explain(sql, placement=Placement.SMART))
+        report = session.execute(sql, placement=Placement.SMART)
         if hasattr(report.rows, "dtype"):  # row-returning query
             for row in report.rows:
                 print("  ", dict(zip(report.rows.dtype.names, row.item())))

@@ -26,7 +26,7 @@ PAPER_SCALE = 100.0     # extrapolate to the paper's SF-100
 
 def leg(device: DeviceKind, layout: Layout, query, placement: str):
     db = make_tpch_db(device, layout, RUN_SCALE)
-    report = db.execute(query, placement=placement)
+    report = db.execute_placed(query, placement)
     estimate = extrapolate_run(db, query, report, PAPER_SCALE / RUN_SCALE)
     return db, report, estimate
 

@@ -24,16 +24,17 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+import repro
+from repro import Placement
 from repro.engine import AggSpec, Col, Compare, Const, Mul, Query
 from repro.errors import PlanError
-from repro.host.db import Database
 from repro.storage import Column, Int32Type, Layout, Schema
 
 
 def main() -> None:
-    db = Database()
-    db.create_smart_ssd()
-    device = db.device("smart-ssd")
+    session = repro.connect()
+    session.db.create_smart_ssd()
+    device = session.db.device("smart-ssd")
 
     schema = Schema([Column("item", Int32Type()),
                      Column("price", Int32Type())])
@@ -41,41 +42,41 @@ def main() -> None:
     rows = np.empty(n, dtype=schema.numpy_dtype())
     rows["item"] = np.arange(n)
     rows["price"] = 100
-    db.create_table("inventory", schema, Layout.PAX, rows, "smart-ssd")
+    session.create_table("inventory", schema, Layout.PAX, rows, "smart-ssd")
 
     total = Query(table="inventory",
                   aggregates=(AggSpec("sum", Col("price"), "total"),))
 
     print("1. pushdown on clean data:")
-    clean = db.execute(total, placement="smart")
+    clean = session.execute(total, placement=Placement.SMART)
     print(f"   total = {clean.rows[0]['total']:,}")
 
     print("2. UPDATE inventory SET price = price * 2 WHERE item < 10000")
-    changed = db.update_rows("inventory",
+    changed = session.update("inventory",
                              Compare(Col("item"), "<", Const(10_000)),
                              {"price": Mul(Col("price"), Const(2))})
-    dirty = len(db.buffer_pool.dirty_lpns("smart-ssd"))
+    dirty = len(session.db.buffer_pool.dirty_lpns("smart-ssd"))
     print(f"   {changed:,} rows rewritten; {dirty} dirty pages in the "
           "buffer pool")
 
     print("3. pushdown is now unsafe:")
     try:
-        db.execute(total, placement="smart")
+        session.execute(total, placement=Placement.SMART)
     except PlanError as exc:
         print(f"   vetoed: {exc}")
-    host_view = db.execute(total, placement="host")
+    host_view = session.execute(total, placement=Placement.HOST)
     print(f"   host path (through the pool) sees total = "
           f"{host_view.rows[0]['total']:,}")
 
     print("4. flush the table (checkpoint):")
     writes_before = device.ftl.stats.host_writes
-    flushed = db.flush_table("inventory")
+    flushed = session.flush_table("inventory")
     print(f"   {flushed} pages written back "
           f"({device.ftl.stats.host_writes - writes_before} flash programs, "
           f"write amplification "
           f"{device.ftl.stats.write_amplification:.2f})")
 
-    smart_view = db.execute(total, placement="smart")
+    smart_view = session.execute(total, placement=Placement.SMART)
     print(f"   pushdown works again and agrees: total = "
           f"{smart_view.rows[0]['total']:,}")
     assert smart_view.rows == host_view.rows

@@ -33,6 +33,14 @@ Observability (spans, metrics, chrome-trace export) lives in
 """
 
 from repro.api import Session, connect
+from repro.host.catalog import ShardSpec
+from repro.serve import (
+    Frontend,
+    QueryHandle,
+    ServeConfig,
+    TenantBatch,
+    TenantSpec,
+)
 from repro.engine import (
     Add,
     AggSpec,
@@ -53,7 +61,12 @@ from repro.engine import (
     and_all,
     run_reference,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    AdmissionRejected,
+    ReproError,
+    ServingError,
+    ShardUnavailable,
+)
 from repro.host.db import Database, DatabaseConfig
 from repro.model import ExecutionReport
 from repro.smart.array import SmartSsdArray
@@ -73,6 +86,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Add",
     "AdmissionPolicy",
+    "AdmissionRejected",
     "AggSpec",
     "And",
     "CaseWhen",
@@ -88,6 +102,7 @@ __all__ = [
     "Div",
     "ExecutionReport",
     "Expr",
+    "Frontend",
     "Int32Type",
     "Int64Type",
     "JoinSpec",
@@ -97,15 +112,22 @@ __all__ = [
     "Or",
     "Placement",
     "Query",
+    "QueryHandle",
     "QueryScheduler",
     "ReproError",
     "Schema",
     "SchedulerConfig",
+    "ServeConfig",
+    "ServingError",
     "Session",
+    "ShardSpec",
+    "ShardUnavailable",
     "SmartSsd",
     "SmartSsdArray",
     "SmartSsdSpec",
     "Sub",
+    "TenantBatch",
+    "TenantSpec",
     "and_all",
     "connect",
     "run_reference",

@@ -1,25 +1,38 @@
 """The top-level facade: ``repro.connect(config) -> Session``.
 
-A :class:`Session` is the redesigned front door for query execution. It
+A :class:`Session` is the finalized front door for query execution. It
 wraps a :class:`~repro.host.db.Database`, takes placements as the
 :class:`~repro.engine.plans.Placement` enum (no more ``"host"``/``"smart"``
-strings), and accepts either a built :class:`~repro.engine.plans.Query` or
-a SQL string — the two entry points the old API exposed separately
-(``Database.execute`` vs ``Database.sql``) collapse into one
-:meth:`Session.execute`.
-
-::
+strings), accepts either a built :class:`~repro.engine.plans.Query` or a
+SQL string, and is a context manager::
 
     import repro
 
-    session = repro.connect(observability=True)
-    session.db.create_smart_ssd()
-    ...create tables...
-    report = session.execute("SELECT sum(l_extendedprice) FROM lineitem",
-                             placement=repro.Placement.SMART)
+    with repro.connect(observability=True) as session:
+        session.db.create_smart_ssd()
+        ...create tables...
+        report = session.execute(
+            "SELECT sum(l_extendedprice) FROM lineitem",
+            placement=repro.Placement.SMART)
 
-The old string-typed ``Database.execute(..., placement="smart")`` remains
-as a deprecated shim; see ``docs/ARCHITECTURE.md`` for the migration note.
+Three execution styles share one code path:
+
+* :meth:`Session.execute` — one query, synchronously;
+* :meth:`Session.submit` / :meth:`Session.gather` — batched, future-style
+  tickets through the concurrent :class:`~repro.sched.QueryScheduler`
+  (:meth:`Session.execute_concurrent` is sugar over exactly this);
+* :meth:`Session.serve` — the multi-tenant serving layer
+  (:class:`repro.serve.Frontend`): per-tenant token-bucket QoS,
+  scatter/gather over sharded tables, and the cross-query result cache.
+  Once serving is active, ``submit(..., tenant="a")`` returns
+  :class:`~repro.serve.QueryHandle` tickets and
+  :meth:`Session.gather_batches` yields versioned per-tenant
+  :class:`~repro.serve.TenantBatch` results.
+
+The old string-typed ``Database.execute``/``Database.sql`` entry points
+remain as deprecated shims that emit one consolidated
+``DeprecationWarning`` pointing here; see ``docs/ARCHITECTURE.md`` for
+the migration table.
 """
 
 from __future__ import annotations
@@ -29,22 +42,49 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.engine.plans import Placement, Query
+from repro.errors import ServingError
 from repro.host.db import Database, DatabaseConfig
 from repro.model.report import ExecutionReport
 from repro.storage import Layout, Schema
 
 if TYPE_CHECKING:
     from repro.sched import QueryScheduler, SchedulerConfig
+    from repro.serve import Frontend, ServeConfig, TenantBatch, TenantSpec
 
 
 class Session:
     """A connection-like handle over one simulated database world."""
 
     def __init__(self, db: Database,
-                 scheduler_config: Optional["SchedulerConfig"] = None):
+                 scheduler_config: Optional["SchedulerConfig"] = None,
+                 serve_config: Optional["ServeConfig"] = None):
         self.db = db
         self._scheduler_config = scheduler_config
         self._scheduler: Optional["QueryScheduler"] = None
+        self._serve_config = serve_config
+        self._frontend: Optional["Frontend"] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """End the session (idempotent). Further execution calls raise."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServingError("session is closed")
 
     # -- setup conveniences (thin delegation) ------------------------------
 
@@ -59,12 +99,29 @@ class Session:
         """Create and bulk-load a heap table on the named device."""
         return self.db.create_table(name, schema, layout, rows, device_name)
 
+    def create_sharded_table(self, name: str, schema: Schema, layout: Layout,
+                             rows: Union[np.ndarray, Iterable[Sequence[Any]]],
+                             device_names: Sequence[str],
+                             spec: Optional[Any] = None):
+        """Partition one logical relation across several named devices."""
+        return self.db.create_sharded_table(name, schema, layout, rows,
+                                            device_names, spec=spec)
+
     # -- execution ---------------------------------------------------------
 
     def compile(self, statement: str) -> Query:
         """Parse and bind a SQL SELECT into a :class:`Query`."""
         from repro.sql import compile_sql
         return compile_sql(statement, self.db.catalog)
+
+    def _coerce_query(self, query_or_sql: Union[Query, str]) -> Query:
+        if isinstance(query_or_sql, str):
+            return self.compile(query_or_sql)
+        if not isinstance(query_or_sql, Query):
+            raise TypeError(
+                f"Session takes a Query or a SQL string, "
+                f"got {type(query_or_sql).__name__}")
+        return query_or_sql
 
     def execute(self, query_or_sql: Union[Query, str],
                 placement: Union[Placement, str] = Placement.HOST,
@@ -75,6 +132,7 @@ class Session:
         ``placement`` is a :class:`Placement` (legacy strings are coerced);
         ``Placement.AUTO`` defers to the cost-based optimizer.
         """
+        self._check_open()
         if isinstance(query_or_sql, str):
             query_or_sql = self.compile(query_or_sql)
         elif not isinstance(query_or_sql, Query):
@@ -89,20 +147,45 @@ class Session:
             self,
             runs: Sequence[tuple[Union[Query, str], Union[Placement, str]]],
             ) -> list[ExecutionReport]:
-        """Run several (query-or-SQL, placement) pairs in one window."""
-        prepared = []
+        """Run several (query-or-SQL, placement) pairs in one window.
+
+        Sugar over :meth:`submit` + :meth:`gather` — the scheduled path is
+        the one code path for concurrent execution, so these runs get the
+        same admission control and scan sharing a hand-built batch would.
+        """
+        self._check_open()
         for query_or_sql, placement in runs:
-            if isinstance(query_or_sql, str):
-                query_or_sql = self.compile(query_or_sql)
-            prepared.append((query_or_sql, Placement.coerce(placement)))
-        return self.db.execute_concurrent(prepared)
+            self.submit(query_or_sql, placement)
+        return self.gather()
 
     def explain(self, query_or_sql: Union[Query, str],
                 placement: Union[Placement, str] = Placement.SMART) -> str:
         """Render the physical plan for a query or SQL string."""
+        self._check_open()
         return self.db.explain(query_or_sql, placement=placement)
 
-    # -- scheduled execution -------------------------------------------------
+    # -- DML ---------------------------------------------------------------
+
+    def update(self, table_name: str, predicate, assignments) -> int:
+        """UPDATE ... SET ... WHERE; returns the number of rows changed.
+
+        With serving active this is the write-through front door
+        (:meth:`repro.serve.Frontend.update`): every shard is updated and
+        flushed, and the table version bump invalidates the result cache.
+        Without serving it is the plain buffer-pool update — call
+        :meth:`flush_table` before device pushdown.
+        """
+        self._check_open()
+        if self._frontend is not None:
+            return self._frontend.update(table_name, predicate, assignments)
+        return self.db.update_rows(table_name, predicate, assignments)
+
+    def flush_table(self, table_name: str) -> int:
+        """Write a table's dirty pages back; returns pages flushed."""
+        self._check_open()
+        return self.db.flush_table(table_name)
+
+    # -- scheduled / served execution --------------------------------------
 
     @property
     def scheduler(self) -> "QueryScheduler":
@@ -113,44 +196,102 @@ class Session:
                                              self._scheduler_config)
         return self._scheduler
 
+    def serve(self, config: Optional["ServeConfig"] = None,
+              tenants: tuple["TenantSpec", ...] = ()) -> "Frontend":
+        """Activate (or return) the multi-tenant serving layer.
+
+        After this, :meth:`submit` routes through the
+        :class:`~repro.serve.Frontend` — per-tenant token-bucket QoS,
+        scatter/gather over sharded tables, cross-query result cache —
+        and :meth:`gather_batches` returns the versioned per-tenant
+        batches.
+        """
+        self._check_open()
+        if self._frontend is None:
+            from repro.serve import Frontend
+            self._frontend = Frontend(
+                self.db, config or self._serve_config, tenants=tenants)
+        elif config is not None and config is not self._frontend.config:
+            raise ServingError(
+                "serving is already active with a different config")
+        else:
+            for spec in tenants:
+                self._frontend.register_tenant(spec)
+        return self._frontend
+
+    @property
+    def frontend(self) -> Optional["Frontend"]:
+        """The active serving frontend, or None before :meth:`serve`."""
+        return self._frontend
+
     def submit(self, query_or_sql: Union[Query, str],
                placement: Union[Placement, str] = Placement.SMART,
-               at: float = 0.0):
-        """Enqueue a query for scheduled execution; returns its ticket.
+               at: float = 0.0, tenant: Optional[str] = None):
+        """Enqueue a query for the next :meth:`gather`; returns its ticket.
 
         ``at`` is the query's arrival offset in virtual seconds from the
-        start of the next :meth:`gather` window — later arrivals can join
-        an in-flight shared scan mid-extent. Nothing executes until
+        start of the next gather window. Passing ``tenant`` (or having
+        called :meth:`serve`) routes through the serving frontend and
+        returns a :class:`~repro.serve.QueryHandle`; otherwise the plain
+        scheduler ticket is returned. Nothing executes until
         :meth:`gather`.
         """
-        if isinstance(query_or_sql, str):
-            query_or_sql = self.compile(query_or_sql)
-        return self.scheduler.submit(query_or_sql, placement, at=at)
+        self._check_open()
+        query = self._coerce_query(query_or_sql)
+        if tenant is not None or self._frontend is not None:
+            return self.serve().submit(query, tenant=tenant or "default",
+                                       placement=placement, at=at)
+        return self.scheduler.submit(query, placement, at=at)
 
     def gather(self) -> list[ExecutionReport]:
-        """Run every pending :meth:`submit` through the scheduler.
+        """Run every pending :meth:`submit`; reports in submission order.
 
         Queries on the same device pass admission control (bounded
         in-flight executions); concurrently admitted queries over the same
-        table extent share one device-side scan. Returns one report per
-        submission, in submission order. A single immediate submission is
-        bit-identical to :meth:`execute`.
+        table extent share one device-side scan. A single immediate
+        submission is bit-identical to :meth:`execute`. With serving
+        active the cycle additionally applies tenant QoS, the result
+        cache, and sharded scatter/gather (use :meth:`gather_batches` for
+        the per-tenant view).
         """
+        self._check_open()
+        if self._frontend is not None and self._frontend.pending_count:
+            batches = self._frontend.gather()
+            handles = [handle for batch in batches.values()
+                       for handle in batch.handles]
+            handles.sort(key=lambda handle: handle.index)
+            return [handle.report for handle in handles]
         return self.scheduler.gather()
+
+    def gather_batches(self) -> dict[str, "TenantBatch"]:
+        """Run every pending serve-submission; batches keyed by tenant.
+
+        Each tenant's batch carries a ``sequence`` number that increments
+        per cycle, so consumers can detect dropped batches. Requires
+        :meth:`serve` (or a tenant-tagged :meth:`submit`) first.
+        """
+        self._check_open()
+        if self._frontend is None:
+            raise ServingError(
+                "serving is not active; call Session.serve() or submit "
+                "with a tenant first")
+        return self._frontend.gather()
 
 
 def connect(config: Optional[DatabaseConfig] = None, *,
             observability: bool = False,
-            scheduler: Optional["SchedulerConfig"] = None) -> Session:
+            scheduler: Optional["SchedulerConfig"] = None,
+            serving: Optional["ServeConfig"] = None) -> Session:
     """Open a fresh simulated world and return a :class:`Session` on it.
 
     ``observability=True`` attaches a :class:`repro.obs.Observability`
     up front, so every subsequent execution records spans and metrics.
     ``scheduler`` configures the session's query scheduler
     (:class:`repro.sched.SchedulerConfig`; default: FIFO admission, 4
-    in-flight per device, scan sharing on).
+    in-flight per device, scan sharing on). ``serving`` pre-configures
+    the multi-tenant serving layer activated by :meth:`Session.serve`.
     """
     db = Database(config)
     if observability:
         db.enable_observability()
-    return Session(db, scheduler_config=scheduler)
+    return Session(db, scheduler_config=scheduler, serve_config=serving)

@@ -34,6 +34,7 @@ from repro.bench.ablations import (
     ext_multi_ssd,
     ext_optimizer,
     ext_scheduler,
+    ext_serving,
 )
 from repro.bench.figures import (
     ExperimentResult,
@@ -78,6 +79,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
            ext_caching_benefit),
     "e5": ("extension: scheduled batches with cooperative scan sharing",
            ext_scheduler),
+    "e6": ("extension: multi-tenant serving over a sharded fleet",
+           ext_serving),
 }
 
 

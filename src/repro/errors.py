@@ -65,6 +65,35 @@ class DeviceResourceError(ProtocolError):
     """The Smart SSD runtime could not grant the resources a session needs."""
 
 
+class ServingError(ReproError):
+    """Failure inside the multi-tenant serving layer (:mod:`repro.serve`).
+
+    The serving front door raises typed subclasses instead of bare
+    ``RuntimeError``: :class:`AdmissionRejected` when per-tenant admission
+    control turns a query away, :class:`ShardUnavailable` when a shard's
+    device cannot serve its partition.
+    """
+
+
+class AdmissionRejected(ServingError):
+    """Per-tenant admission control refused the query.
+
+    Raised by :meth:`repro.serve.Frontend.submit` when the tenant's
+    backlog exceeds ``ServeConfig.max_queue_per_tenant`` — the token
+    bucket is so far oversubscribed that queueing the query would only
+    grow an unbounded queue. The caller should back off and resubmit.
+    """
+
+
+class ShardUnavailable(ServingError):
+    """A shard's device cannot serve its table partition.
+
+    Raised when a sharded table references a device that is not attached
+    to the world (or no longer answers block reads), so the scatter plan
+    cannot cover the full table.
+    """
+
+
 class CatalogError(ReproError):
     """Unknown table/column or conflicting definition."""
 

@@ -1,13 +1,27 @@
-"""Table catalog: which relations exist and where their pages live."""
+"""Table catalog: which relations exist and where their pages live.
+
+Beyond plain one-device tables, the catalog tracks two serving-layer
+concerns:
+
+* **Sharded tables** (:class:`ShardedTable`): one logical relation
+  hash/range/round-robin partitioned across N devices, each partition a
+  regular physical :class:`Table` named ``<logical>#<shard>`` — the
+  scatter/gather planner (:func:`repro.host.planner.plan_scatter`)
+  rewrites logical queries into per-shard pushdowns over them.
+* **Table versions**: a monotonic counter per logical relation, bumped on
+  any write (:func:`repro.host.dml.update_process` and the serving
+  layer's sharded DML). The cross-query result cache keys on the version,
+  so a bump invalidates every cached result for the table in O(1).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, PlanError
 from repro.storage import (
     DEFAULT_STATS_CONFIG,
     ExtentStats,
@@ -48,11 +62,105 @@ class Table:
         return self.heap.page_count
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """How a logical relation is split across devices.
+
+    ``kind`` is ``"hash"`` (stable SplitMix64 of ``key``), ``"range"``
+    (``key`` against sorted ``bounds``; shard i holds
+    ``bounds[i-1] <= key < bounds[i]``), ``"round_robin"`` (striped by
+    row ordinal; ``key``/``bounds`` unused), or ``"replicated"`` (a full
+    copy on every device — for small join build/dimension tables).
+    """
+
+    kind: str = "hash"
+    key: Optional[str] = None
+    bounds: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in ("hash", "range", "round_robin", "replicated"):
+            raise PlanError(f"unknown shard kind {self.kind!r}")
+        if self.kind in ("hash", "range") and not self.key:
+            raise PlanError(f"{self.kind} sharding needs a key column")
+
+    def shard_indices(self, rows: np.ndarray,
+                      shard_count: int) -> np.ndarray:
+        """Row -> shard assignment for one load (partitioned kinds only)."""
+        from repro.smart.array import (
+            hash_shard_indices,
+            range_shard_indices,
+            round_robin_indices,
+        )
+        if self.kind == "replicated":
+            raise PlanError("replicated tables are copied, not partitioned")
+        if self.kind == "hash":
+            return hash_shard_indices(rows[self.key], shard_count)
+        if self.kind == "range":
+            if len(self.bounds) != shard_count - 1:
+                raise PlanError(
+                    f"range sharding over {shard_count} shards needs "
+                    f"{shard_count - 1} bounds, got {len(self.bounds)}")
+            return range_shard_indices(rows[self.key], self.bounds)
+        return round_robin_indices(len(rows), shard_count)
+
+
+@dataclass(frozen=True)
+class ShardedTable:
+    """One logical relation partitioned across several devices."""
+
+    name: str
+    spec: ShardSpec
+    shards: tuple[Table, ...]  # physical per-shard tables, index-aligned
+
+    @property
+    def schema(self) -> Schema:
+        """The relation schema (identical on every shard)."""
+        return self.shards[0].schema
+
+    @property
+    def layout(self) -> Layout:
+        """On-page layout (identical on every shard)."""
+        return self.shards[0].layout
+
+    @property
+    def tuple_count(self) -> int:
+        """Logical live tuples (copies of a replicated table count once)."""
+        if self.spec.kind == "replicated":
+            return self.shards[0].tuple_count
+        return sum(shard.tuple_count for shard in self.shards)
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        """Owning device of each shard, index-aligned."""
+        return tuple(shard.device_name for shard in self.shards)
+
+    def shard_key_range(self, index: int):
+        """(lo, hi_exclusive) key bounds of shard ``index`` for range
+        sharding (a ``None`` end is unbounded); ``None`` for every other
+        kind, where no per-shard key range is known."""
+        if self.spec.kind != "range":
+            return None
+        lo = self.spec.bounds[index - 1] if index > 0 else None
+        hi = (self.spec.bounds[index]
+              if index < len(self.spec.bounds) else None)
+        return (lo, hi)
+
+
+def shard_table_name(logical: str, index: int) -> str:
+    """The physical catalog name of one shard of a logical table."""
+    return f"{logical}#{index}"
+
+
 class Catalog:
     """Name -> :class:`Table` registry with loading helpers."""
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
+        self._sharded: dict[str, ShardedTable] = {}
+        #: Monotonic content version per logical relation name.
+        self._versions: dict[str, int] = {}
+        #: Physical shard name -> owning logical sharded-table name.
+        self._shard_parent: dict[str, str] = {}
         self._next_table_id = 1
 
     def create_table(self, name: str, schema: Schema, layout: Layout,
@@ -121,6 +229,83 @@ class Catalog:
         table = Table(name=name, heap=heap, device_name=device.spec.name)
         self._tables[name] = table
         return table
+
+    def create_sharded_table(self, name: str, schema: Schema, layout: Layout,
+                             rows: np.ndarray | Iterable[Sequence[Any]],
+                             devices: Sequence[Any],
+                             spec: ShardSpec | None = None,
+                             stats_config: StatsConfig | None =
+                             DEFAULT_STATS_CONFIG) -> ShardedTable:
+        """Partition ``rows`` across ``devices`` as one logical relation.
+
+        Each partition loads as a regular physical table named
+        ``<name>#<i>`` on device ``i`` (with per-page statistics, like any
+        other table), and the logical name resolves through
+        :meth:`sharded`. ``spec`` defaults to hash sharding when it names
+        a key, otherwise round-robin striping.
+        """
+        if name in self._tables or name in self._sharded:
+            raise CatalogError(f"table {name!r} already exists")
+        if not devices:
+            raise PlanError("sharded table needs at least one device")
+        spec = spec or ShardSpec(kind="round_robin")
+        if not isinstance(rows, np.ndarray):
+            rows = schema.rows_to_array(rows)
+        if spec.key is not None:
+            schema.column_index(spec.key)  # validate early
+        if spec.kind == "replicated":
+            assignment = None  # every device gets the full relation
+        else:
+            assignment = spec.shard_indices(rows, len(devices))
+        shards = []
+        for index, device in enumerate(devices):
+            part = rows if assignment is None else rows[assignment == index]
+            shards.append(self.create_table(
+                shard_table_name(name, index), schema, layout,
+                part, device, stats_config=stats_config))
+        sharded = ShardedTable(name=name, spec=spec, shards=tuple(shards))
+        self._sharded[name] = sharded
+        for shard in shards:
+            self._shard_parent[shard.name] = name
+        return sharded
+
+    def sharded(self, name: str) -> ShardedTable:
+        """Look a sharded table up by its logical name."""
+        try:
+            return self._sharded[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown sharded table {name!r}; have "
+                f"{sorted(self._sharded)}") from None
+
+    def is_sharded(self, name: str) -> bool:
+        """True when ``name`` is a logical sharded relation."""
+        return name in self._sharded
+
+    def sharded_names(self) -> list[str]:
+        """All logical sharded-table names, sorted."""
+        return sorted(self._sharded)
+
+    # -- content versions --------------------------------------------------
+
+    def version(self, name: str) -> int:
+        """Monotonic content version of a logical relation (0 = pristine).
+
+        Physical shard names resolve to their owning logical table, so a
+        write through any path observes one coherent version.
+        """
+        return self._versions.get(self._shard_parent.get(name, name), 0)
+
+    def bump_version(self, name: str) -> int:
+        """Record a write to a relation; returns the new version.
+
+        Every cross-query cache entry keyed on the old version becomes
+        unreachable, which is the serving layer's whole invalidation
+        story (see ``docs/SERVING.md``).
+        """
+        logical = self._shard_parent.get(name, name)
+        self._versions[logical] = self._versions.get(logical, 0) + 1
+        return self._versions[logical]
 
     def register(self, table: Table) -> None:
         """Register an externally-built table descriptor."""

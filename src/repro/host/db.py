@@ -142,6 +142,26 @@ class Database:
                                          self.device(device_name),
                                          stats_config=stats_config)
 
+    def create_sharded_table(self, name: str, schema: Schema, layout: Layout,
+                             rows: np.ndarray | Iterable[Sequence[Any]],
+                             device_names: Sequence[str],
+                             spec: Optional[Any] = None,
+                             stats_config: "StatsConfig | None" =
+                             DEFAULT_STATS_CONFIG):
+        """Partition one logical relation across several named devices.
+
+        ``spec`` is a :class:`~repro.host.catalog.ShardSpec` (hash, range,
+        round-robin, or replicated); each partition loads as a physical
+        table ``<name>#<i>``. Logical queries over the table go through
+        the serving layer (:mod:`repro.serve`), which scatters them to
+        the shards and merges the partials on the host.
+        """
+        devices = [self.device(device_name)
+                   for device_name in device_names]
+        return self.catalog.create_sharded_table(
+            name, schema, layout, rows, devices, spec=spec,
+            stats_config=stats_config)
+
     # -- observability -----------------------------------------------------------------
 
     def enable_observability(self, obs: Optional[Any] = None):
@@ -259,6 +279,14 @@ class Database:
             report.profile = obs.profile(spans_before)
         return report
 
+    #: One consolidated migration message for every legacy entry point —
+    #: the typed Session facade replaced them all (docs/ARCHITECTURE.md).
+    _LEGACY_API_WARNING = (
+        "The legacy Database.{name}() entry point is deprecated; open a "
+        "typed session with repro.connect() and use Session.execute / "
+        "Session.submit instead (see docs/ARCHITECTURE.md for the "
+        "migration table)")
+
     def execute(self, query: Query, placement: str = "host",
                 io_unit_pages: Optional[int] = None,
                 window: Optional[int] = None) -> ExecutionReport:
@@ -267,11 +295,8 @@ class Database:
         Kept so existing callers (and the seed tests) run unchanged, at
         the cost of a :class:`DeprecationWarning`.
         """
-        warnings.warn(
-            "Database.execute(placement=str) is deprecated; use "
-            "Database.execute_placed(query, Placement...) or the "
-            "repro.connect() -> Session facade",
-            DeprecationWarning, stacklevel=2)
+        warnings.warn(self._LEGACY_API_WARNING.format(name="execute"),
+                      DeprecationWarning, stacklevel=2)
         return self.execute_placed(query, placement,
                                    io_unit_pages=io_unit_pages,
                                    window=window)
@@ -284,10 +309,8 @@ class Database:
         dialect (see :mod:`repro.sql`). Extra keyword arguments are
         forwarded to :meth:`execute_placed`.
         """
-        warnings.warn(
-            "Database.sql() is deprecated; use repro.connect() -> "
-            "Session.execute(sql_string)",
-            DeprecationWarning, stacklevel=2)
+        warnings.warn(self._LEGACY_API_WARNING.format(name="sql"),
+                      DeprecationWarning, stacklevel=2)
         from repro.sql import compile_sql
         query = compile_sql(statement, self.catalog)
         return self.execute_placed(query, placement, **kwargs)

@@ -100,6 +100,10 @@ def update_process(db: "Database", table_name: str, predicate: Expr | None,
                                   dirty=True)
             updated += hit_count
         yield from db.machine.compute(db.costs.cycles(counters))
+    if updated:
+        # Any write bumps the relation's content version, making every
+        # serving-layer cache entry keyed on the old version unreachable.
+        db.catalog.bump_version(table_name)
     return updated
 
 

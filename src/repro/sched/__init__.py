@@ -1,6 +1,9 @@
 """Concurrent query scheduling: admission control + cooperative scan
-sharing (see :mod:`repro.sched.scheduler` and ``docs/SCHEDULER.md``)."""
+sharing (see :mod:`repro.sched.scheduler` and ``docs/SCHEDULER.md``),
+plus per-tenant token-bucket QoS for the serving layer
+(:mod:`repro.sched.qos`)."""
 
+from repro.sched.qos import TenantSpec, TokenBucket
 from repro.sched.scheduler import (
     AdmissionPolicy,
     QueryScheduler,
@@ -13,4 +16,6 @@ __all__ = [
     "QueryScheduler",
     "SchedulerConfig",
     "Submission",
+    "TenantSpec",
+    "TokenBucket",
 ]

@@ -1,0 +1,27 @@
+"""Multi-tenant serving layer over a sharded Smart SSD fleet.
+
+See ``docs/SERVING.md``: :class:`Frontend` is the front door (tenant
+QoS, cross-query result cache, scatter/gather over sharded tables);
+:class:`~repro.serve.cache.ResultCache` is the version-keyed cache.
+"""
+
+from repro.sched.qos import TenantSpec, TokenBucket
+from repro.serve.cache import MISS, ResultCache, cache_key
+from repro.serve.frontend import (
+    Frontend,
+    QueryHandle,
+    ServeConfig,
+    TenantBatch,
+)
+
+__all__ = [
+    "MISS",
+    "Frontend",
+    "QueryHandle",
+    "ResultCache",
+    "ServeConfig",
+    "TenantBatch",
+    "TenantSpec",
+    "TokenBucket",
+    "cache_key",
+]

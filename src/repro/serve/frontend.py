@@ -1,0 +1,445 @@
+"""The serving front door: tenants, admission, scatter/gather, caching.
+
+:class:`Frontend` is the production-shaped entry point over a sharded
+Smart SSD fleet. One gather cycle:
+
+1. **QoS admission** — every pending query, in ``(arrival, submission)``
+   order, draws a token from its tenant's
+   :class:`~repro.sched.qos.TokenBucket`; the grant instant becomes the
+   arrival offset handed to the device scheduler, so a flooding tenant
+   delays only its own queries.
+2. **Cache probe** — each query's canonical key (current table versions
+   included) is looked up in the :class:`~repro.serve.cache.ResultCache`;
+   hits are answered without touching a device.
+3. **Scatter** — misses over sharded tables are rewritten by
+   :func:`repro.host.planner.plan_scatter` into per-shard pushdowns
+   (range-pruned shards skipped) and submitted to the PR4
+   :class:`~repro.sched.scheduler.QueryScheduler`, which runs every shard
+   of every query concurrently in one simulated batch — shared scans,
+   per-device admission control, and ATTACH piggybacking all still apply.
+4. **Gather** — per-shard partials merge on the host (exact aggregate
+   recombination, top-N re-merge, DISTINCT union), results are cached,
+   and each tenant receives a versioned :class:`TenantBatch`.
+
+Writes go through :meth:`Frontend.update`: write-through (update +
+flush, so the device copy is never stale for pushdown) plus a catalog
+version bump that invalidates every cached result for the table.
+
+Everything runs in virtual time under the discrete-event simulator, so a
+fixed workload replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Union
+
+from repro.engine.plans import Placement, Query
+from repro.errors import (
+    AdmissionRejected,
+    CatalogError,
+    PlanError,
+    ServingError,
+    ShardUnavailable,
+)
+from repro.host.planner import (
+    ScatterPlan,
+    merge_scatter_rows,
+    merge_scatter_state,
+    plan_scatter,
+)
+from repro.model.counters import WorkCounters
+from repro.model.report import ExecutionReport
+from repro.sched.qos import TenantSpec, TokenBucket
+from repro.sched.scheduler import (
+    QueryScheduler,
+    SchedulerConfig,
+    Submission,
+)
+from repro.serve.cache import MISS, ResultCache, cache_key
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`Frontend`."""
+
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Serve repeat queries from the cross-query result cache.
+    cache_enabled: bool = True
+    cache_capacity: int = 256
+    #: Virtual service time of a cache hit (hash + host-memory copy) —
+    #: the O(1) cost a hit is charged instead of device work.
+    cache_hit_seconds: float = 5e-5
+    #: Token-bucket defaults for tenants submitted without an explicit
+    #: :class:`~repro.sched.qos.TenantSpec`.
+    default_rate: float = 8.0
+    default_burst: float = 4.0
+    #: Queries one tenant may hold pending before :meth:`Frontend.submit`
+    #: raises :class:`~repro.errors.AdmissionRejected`.
+    max_queue_per_tenant: int = 1024
+
+
+@dataclass
+class QueryHandle:
+    """Future-style ticket for one submitted query.
+
+    Filled in by :meth:`Frontend.gather`; :meth:`result` raises until
+    then.
+    """
+
+    index: int
+    query: Query
+    tenant: str
+    placement: Placement
+    arrival: float
+    # Filled in by gather():
+    admitted_at: Optional[float] = None
+    cached: bool = False
+    fan_out: int = 0
+    pruned_shards: int = 0
+    report: Optional[ExecutionReport] = None
+
+    @property
+    def done(self) -> bool:
+        """True once a gather cycle resolved this query."""
+        return self.report is not None
+
+    @property
+    def qos_delay_seconds(self) -> float:
+        """Virtual seconds admission held the query back."""
+        if self.admitted_at is None:
+            return 0.0
+        return self.admitted_at - self.arrival
+
+    def result(self):
+        """The result rows; raises until :meth:`Frontend.gather` ran."""
+        if self.report is None:
+            raise ServingError(
+                f"query {self.query.name!r} (tenant {self.tenant!r}) has "
+                f"not been gathered yet")
+        return self.report.rows
+
+
+@dataclass
+class TenantBatch:
+    """One tenant's results from one gather cycle.
+
+    ``sequence`` is the tenant's batch version: it increments by one per
+    cycle that contained work for the tenant, so consumers can detect
+    dropped or re-delivered batches.
+    """
+
+    tenant: str
+    sequence: int
+    handles: list[QueryHandle]
+
+    @property
+    def reports(self) -> list[ExecutionReport]:
+        """The batch's reports, in submission order."""
+        return [handle.report for handle in self.handles]
+
+    @property
+    def elapsed_seconds(self) -> list[float]:
+        """Per-query virtual service latency, in submission order."""
+        return [handle.report.elapsed_seconds for handle in self.handles]
+
+
+class Frontend:
+    """Multi-tenant serving layer over one :class:`~repro.host.db.Database`.
+
+    Thousands of in-flight queries are held as cheap
+    :class:`QueryHandle` tickets; nothing touches the simulator until
+    :meth:`gather` runs the cycle.
+    """
+
+    def __init__(self, db: Any, config: Optional[ServeConfig] = None,
+                 tenants: tuple[TenantSpec, ...] = ()):
+        self.db = db
+        self.config = config or ServeConfig()
+        self.scheduler = QueryScheduler(db, self.config.scheduler)
+        self.cache = ResultCache(self.config.cache_capacity)
+        self._tenants: dict[str, TenantSpec] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._pending: list[QueryHandle] = []
+        self._sequences: dict[str, int] = {}
+        self._submitted_total = 0
+        for spec in tenants:
+            self.register_tenant(spec)
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(self, spec: TenantSpec) -> TenantSpec:
+        """Declare a tenant's service contract before it submits."""
+        if spec.name in self._tenants:
+            raise PlanError(f"tenant {spec.name!r} already registered")
+        self._tenants[spec.name] = spec
+        self._buckets[spec.name] = TokenBucket(spec)
+        return spec
+
+    def tenant_names(self) -> list[str]:
+        """Every tenant seen so far, sorted."""
+        return sorted(self._tenants)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        if tenant not in self._buckets:
+            spec = TenantSpec(tenant, rate=self.config.default_rate,
+                              burst=self.config.default_burst)
+            self._tenants[tenant] = spec
+            self._buckets[tenant] = TokenBucket(spec)
+        return self._buckets[tenant]
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, query: Query, tenant: str = "default",
+               placement: Union[Placement, str] = Placement.SMART,
+               at: float = 0.0) -> QueryHandle:
+        """Enqueue a query for the next gather cycle.
+
+        ``at`` is the query's arrival offset in virtual seconds within
+        the cycle. Raises :class:`~repro.errors.AdmissionRejected` when
+        the tenant's pending backlog exceeds the configured bound, and
+        :class:`~repro.errors.ShardUnavailable` when the query's sharded
+        table references a detached device.
+        """
+        if not isinstance(query, Query):
+            raise PlanError(
+                f"submit takes a Query, got {type(query).__name__}")
+        if not tenant:
+            raise PlanError("tenant must be a non-empty string")
+        if at < 0:
+            raise PlanError(f"negative arrival offset: {at}")
+        backlog = sum(1 for h in self._pending if h.tenant == tenant)
+        if backlog >= self.config.max_queue_per_tenant:
+            raise AdmissionRejected(
+                f"tenant {tenant!r} already has {backlog} queries pending "
+                f"(max_queue_per_tenant="
+                f"{self.config.max_queue_per_tenant}); gather or back off")
+        self._check_table(query)
+        handle = QueryHandle(index=self._submitted_total, query=query,
+                             tenant=tenant,
+                             placement=Placement.coerce(placement),
+                             arrival=float(at))
+        self._submitted_total += 1
+        self._pending.append(handle)
+        obs = self.db.sim.obs
+        if obs is not None:
+            obs.metrics.counter("serve.submitted", tenant=tenant).inc()
+        return handle
+
+    def _check_table(self, query: Query) -> None:
+        catalog = self.db.catalog
+        if not catalog.is_sharded(query.table):
+            catalog.table(query.table)  # raises CatalogError when unknown
+            return
+        sharded = catalog.sharded(query.table)
+        for index, name in enumerate(sharded.device_names):
+            try:
+                self.db.device(name)
+            except CatalogError:
+                raise ShardUnavailable(
+                    f"shard {index} of {query.table!r} lives on device "
+                    f"{name!r}, which is not attached") from None
+
+    @property
+    def pending_count(self) -> int:
+        """Queries waiting for the next gather cycle."""
+        return len(self._pending)
+
+    # -- DML ---------------------------------------------------------------
+
+    def update(self, table_name: str, predicate, assignments) -> int:
+        """Write-through UPDATE via the front door; returns rows changed.
+
+        Applies to every shard of a sharded table (a replicated table's
+        copies all receive the same predicate-driven change), flushes the
+        dirty pages back so device-side pushdown stays safe, and bumps
+        the catalog version — invalidating every cached result for the
+        table in O(1).
+        """
+        catalog = self.db.catalog
+        if catalog.is_sharded(table_name):
+            names = [shard.name
+                     for shard in catalog.sharded(table_name).shards]
+        else:
+            catalog.table(table_name)
+            names = [table_name]
+        changed = 0
+        for name in names:
+            changed += self.db.update_rows(name, predicate, assignments)
+            self.db.flush_table(name)
+        obs = self.db.sim.obs
+        if obs is not None:
+            obs.metrics.counter("serve.invalidations",
+                                table=table_name).inc()
+        return changed
+
+    # -- the gather cycle --------------------------------------------------
+
+    def gather(self) -> dict[str, TenantBatch]:
+        """Run every pending query to completion; batches keyed by tenant.
+
+        Deterministic: token grants are computed sequentially in
+        ``(arrival, submission)`` order, cache keys bind the table
+        versions current at cycle start, and the device batch runs under
+        the discrete-event simulator.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return {}
+        db = self.db
+        obs = db.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.span("serve.gather", track="serve",
+                            queries=len(pending)).__enter__()
+
+        for handle in sorted(pending, key=lambda h: (h.arrival, h.index)):
+            bucket = self._bucket(handle.tenant)
+            handle.admitted_at = bucket.admit_at(handle.arrival)
+            if obs is not None:
+                obs.metrics.histogram(
+                    "serve.qos_delay_seconds",
+                    tenant=handle.tenant).observe(handle.qos_delay_seconds)
+
+        runs: list[tuple[QueryHandle, Optional[ScatterPlan],
+                         Optional[tuple], list[Submission]]] = []
+        catalog = db.catalog
+        for handle in pending:
+            key = None
+            if self.config.cache_enabled:
+                key = cache_key(catalog, handle.query, handle.placement)
+                value = self.cache.get(key)
+                if value is not MISS:
+                    handle.cached = True
+                    handle.report = self._hit_report(handle, value)
+                    if obs is not None:
+                        obs.metrics.counter("serve.cache_hits",
+                                            tenant=handle.tenant).inc()
+                    continue
+                if obs is not None:
+                    obs.metrics.counter("serve.cache_misses",
+                                        tenant=handle.tenant).inc()
+            if catalog.is_sharded(handle.query.table):
+                plan = plan_scatter(db, handle.query)
+                handle.fan_out = plan.fan_out
+                handle.pruned_shards = len(plan.pruned_shards)
+                tickets = [self.scheduler.submit(q, handle.placement,
+                                                 at=handle.admitted_at)
+                           for q in plan.shard_queries]
+            else:
+                plan = None
+                handle.fan_out = 1
+                query = (replace(handle.query, finalize=None)
+                         if handle.query.aggregates else handle.query)
+                tickets = [self.scheduler.submit(query, handle.placement,
+                                                 at=handle.admitted_at)]
+            runs.append((handle, plan, key, tickets))
+
+        start = db.sim.now
+        reports = self.scheduler.gather()
+        for handle, plan, key, tickets in runs:
+            shard_reports = [reports[ticket.index] for ticket in tickets]
+            handle.report = self._merge_reports(handle, plan, key, tickets,
+                                                shard_reports, start)
+            if obs is not None:
+                obs.metrics.histogram("serve.fan_out").observe(
+                    handle.fan_out)
+                if handle.pruned_shards:
+                    obs.metrics.counter("serve.pruned_shards").inc(
+                        handle.pruned_shards)
+                obs.metrics.histogram(
+                    "serve.latency_seconds", tenant=handle.tenant,
+                ).observe(handle.report.elapsed_seconds)
+
+        if span is not None:
+            span.set(cache_hits=sum(1 for h in pending if h.cached))
+            span.finish()
+
+        grouped: dict[str, list[QueryHandle]] = {}
+        for handle in pending:
+            grouped.setdefault(handle.tenant, []).append(handle)
+        batches = {}
+        for tenant in sorted(grouped):
+            sequence = self._sequences.get(tenant, 0) + 1
+            self._sequences[tenant] = sequence
+            batches[tenant] = TenantBatch(tenant=tenant, sequence=sequence,
+                                          handles=grouped[tenant])
+        return batches
+
+    # -- result assembly ---------------------------------------------------
+
+    def _hit_report(self, handle: QueryHandle, value: Any
+                    ) -> ExecutionReport:
+        """A report served from the cache in O(1) virtual time."""
+        query = handle.query
+        if query.aggregates:
+            from repro.host.executor import _finalize_aggregates
+            rows = _finalize_aggregates(query, value)
+        else:
+            rows = value
+        catalog = self.db.catalog
+        layout = (catalog.sharded(query.table).layout
+                  if catalog.is_sharded(query.table)
+                  else catalog.table(query.table).layout)
+        return ExecutionReport(
+            rows=rows,
+            elapsed_seconds=self.config.cache_hit_seconds,
+            placement="cache",
+            device_name="host-cache",
+            layout=layout.value,
+        )
+
+    def _merge_reports(self, handle: QueryHandle,
+                       plan: Optional[ScatterPlan],
+                       key: Optional[tuple],
+                       tickets: list[Submission],
+                       shard_reports: list[ExecutionReport],
+                       start: float) -> ExecutionReport:
+        """Fold per-shard reports into the logical query's report."""
+        query = handle.query
+        shard_rows = [report.rows for report in shard_reports]
+        if query.aggregates:
+            from repro.host.executor import _finalize_aggregates
+            state = merge_scatter_state(query, shard_rows)
+            if key is not None:
+                self.cache.put(key, state)
+            rows = _finalize_aggregates(query, state)
+        else:
+            rows = (merge_scatter_rows(plan, shard_rows)
+                    if plan is not None else shard_rows[0])
+            if key is not None:
+                self.cache.put(key, rows)
+        counters = WorkCounters()
+        for report in shard_reports:
+            counters.add(report.counters)
+        done_at = max(ticket.done_at for ticket in tickets)
+        devices = list(dict.fromkeys(report.device_name
+                                     for report in shard_reports))
+        return ExecutionReport(
+            rows=rows,
+            elapsed_seconds=done_at - start - handle.arrival,
+            placement=shard_reports[0].placement,
+            device_name=",".join(devices),
+            layout=shard_reports[0].layout,
+            counters=counters,
+            energy=shard_reports[0].energy,
+            host_cpu_core_seconds=shard_reports[0].host_cpu_core_seconds,
+            profile=shard_reports[0].profile,
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Serving-layer accounting (cache, tenants, last device batch)."""
+        return {
+            "submitted_total": self._submitted_total,
+            "pending": len(self._pending),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+            "cache_entries": len(self.cache),
+            "tenants": {name: bucket.granted
+                        for name, bucket in sorted(self._buckets.items())},
+            "scheduler": dict(self.scheduler.stats),
+        }

@@ -106,7 +106,7 @@ class TestSessionFacade:
 class TestDeprecatedShims:
     def test_database_execute_warns_and_still_works(self):
         session = loaded_session()
-        with pytest.warns(DeprecationWarning, match="execute_placed"):
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
             legacy = session.db.execute(agg_query(), placement="smart")
         modern = session.db.execute_placed(agg_query(), Placement.SMART)
         assert legacy.rows == modern.rows
@@ -114,7 +114,7 @@ class TestDeprecatedShims:
 
     def test_database_sql_warns(self):
         session = loaded_session()
-        with pytest.warns(DeprecationWarning, match="Session.execute"):
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
             report = session.db.sql("SELECT COUNT(*) AS n FROM t")
         assert report.row_count == 1
 
