@@ -8,7 +8,9 @@ figures (Fig. 3 Q6 and Fig. 5 join selectivity), scheduler scan-sharing
 throughput in *virtual* time, data-skipping page-read reduction and top-N
 interface shrink (both machine-independent), the serving layer's sharded
 scatter/gather scaling and result-cache hit speedup (also virtual-time
-figures from the E6 traffic replay), and one more
+figures from the E6 traffic replay), the parallel fleet runtime's
+serial-vs-parallel wall-clock on the same replay (a top-level
+``parallel`` block, CPU-count-conditional gate), and one more
 machine-independent metric: the total Python function-call count of a fixed
 workload, captured with cProfile. Wall-clock numbers are normalized by a
 CPU calibration loop so the regression gate (``check_regression.py``) is
@@ -31,7 +33,7 @@ from pathlib import Path
 import numpy as np
 
 #: The PR whose baseline this harness emits by default.
-CURRENT_PR = 8
+CURRENT_PR = 9
 
 
 def default_output(pr: int = CURRENT_PR) -> Path:
@@ -316,6 +318,81 @@ def bench_serving():
     }
 
 
+def bench_parallel_serving(backend: str = "process") -> dict:
+    """Wall-clock of the E6 replay, serial engine vs a parallel backend.
+
+    The only wall-clock figure in the report that measures *host* CPU
+    parallelism rather than simulated device parallelism: the same
+    four-shard two-tenant traffic replay runs once on the serial engine
+    and once on ``backend`` (thread/process lanes, one per shard), and
+    both must land on the identical virtual clock — the determinism
+    contract of :mod:`repro.runtime`. The speedup is gated by
+    ``check_regression.py`` only on machines with >= 4 CPUs; this
+    harness just reports what it saw alongside the CPU count so the
+    gate can tell "runtime regressed" from "machine too small".
+    """
+    import os
+
+    from repro.host.catalog import ShardSpec
+    from repro.host.db import Database
+    from repro.sched.qos import TenantSpec
+    from repro.serve import Frontend, ServeConfig
+    from repro.smart.device import SmartSsdSpec
+    from repro.storage import Layout
+    from repro.workloads import (
+        generate_lineitem,
+        lineitem_schema,
+        q1_query,
+        q6_query,
+    )
+
+    shards = 4
+    queries_per_tenant = 6
+    schema = lineitem_schema()
+    lineitem = generate_lineitem(0.004)
+
+    def replay(backend_name):
+        db = Database()
+        devices = [db.create_smart_ssd(SmartSsdSpec(name=f"smart-{i}"))
+                   for i in range(shards)]
+        db.catalog.create_sharded_table(
+            "lineitem", schema, Layout.PAX, lineitem, devices,
+            spec=ShardSpec(kind="hash", key="l_orderkey"))
+        frontend = Frontend(
+            db, ServeConfig(backend=backend_name, cache_enabled=False),
+            tenants=(TenantSpec("analytics", rate=500.0, burst=32.0),
+                     TenantSpec("dashboard", rate=500.0, burst=32.0)))
+        for i in range(queries_per_tenant):
+            arrival = i * 1e-4
+            frontend.submit(q1_query(delta_days=60 + i),
+                            tenant="analytics", at=arrival)
+            frontend.submit(q6_query(year=1993 + i % 3),
+                            tenant="dashboard", at=arrival)
+        start = time.perf_counter()
+        frontend.gather()
+        elapsed = time.perf_counter() - start
+        now = db.sim.now
+        runtime = dict(frontend.scheduler.runtime_stats)
+        frontend.close()
+        return elapsed, now, runtime
+
+    serial_s, serial_now, _ = replay("serial")
+    parallel_s, parallel_now, runtime = replay(backend)
+    assert parallel_now == serial_now, (
+        f"{backend} backend broke the virtual clock: "
+        f"{parallel_now} != {serial_now}")
+    return {
+        "backend": backend,
+        "serial_s": serial_s,
+        f"{backend}_s": parallel_s,
+        "speedup_x": serial_s / parallel_s,
+        "workers": shards,
+        "cpu_count": os.cpu_count() or 1,
+        "parallel_batches": runtime["parallel_batches"],
+        "fallbacks": runtime["fallbacks"],
+    }
+
+
 def count_calls():
     """Total function calls of a fixed workload — machine-independent."""
     from repro.bench.figures import fig3_q6
@@ -340,6 +417,11 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON (overrides --pr; "
                              f"default: {default_output()})")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="process",
+                        help="parallel runtime backend the serial-vs-"
+                             "parallel serving bench compares against "
+                             "(default: process)")
     args = parser.parse_args(argv)
     if args.output is None:
         args.output = default_output(args.pr)
@@ -356,10 +438,19 @@ def main(argv=None) -> int:
     metrics.update(count_calls())
     print(f"  fig3_q6_function_calls: {metrics['fig3_q6_function_calls']:,}")
 
+    # Top-level block, not a metric: wall-clock parallel speedup is gated
+    # by check_regression.py conditionally on the CPU count, never by the
+    # calibrated-ratio machinery.
+    parallel = bench_parallel_serving(args.backend)
+    print(f"  parallel[{parallel['backend']}]: "
+          f"{parallel['speedup_x']:.2f}x over serial "
+          f"({parallel['cpu_count']} cpus)")
+
     from repro.bench.runners import workload_cache_stats
     report = {
         "calibration_s": calibration,
         "metrics": metrics,
+        "parallel": parallel,
         "workload_cache": dict(workload_cache_stats),
         "python": sys.version.split()[0],
     }

@@ -72,6 +72,14 @@ class Database:
         #: quarantined devices.
         self.health = HealthRegistry()
         self._devices: dict[str, Any] = {}
+        #: Bumped on every world mutation (DML, flush, device attach,
+        #: fault plans); the parallel runtime's cached lane worlds are
+        #: invalidated when it changes (see repro.runtime.worlds).
+        self._world_version = 0
+
+    def note_world_mutation(self) -> None:
+        """Mark the world changed for :func:`repro.runtime.world_fingerprint`."""
+        self._world_version += 1
 
     @property
     def costs(self) -> CycleCosts:
@@ -97,6 +105,7 @@ class Database:
         if name in self._devices:
             raise CatalogError(f"device {name!r} already attached")
         self._devices[name] = device
+        self.note_world_mutation()
         return device
 
     def install_fault_plan(self, plan: FaultPlan) -> None:
@@ -110,6 +119,7 @@ class Database:
         for device in self._devices.values():
             if hasattr(device, "install_fault_plan"):
                 device.install_fault_plan(plan)
+        self.note_world_mutation()
 
     def device(self, name: str) -> Any:
         """Look up an attached device."""
@@ -334,6 +344,7 @@ class Database:
         ``assignments`` maps column names to values or expression trees.
         """
         from repro.host.dml import update_process
+        self.note_world_mutation()
         proc = self.sim.process(
             update_process(self, table_name, predicate, assignments),
             name=f"update-{table_name}")
@@ -348,6 +359,7 @@ class Database:
         Clears the pushdown veto: afterwards the device copy is current.
         """
         from repro.host.dml import flush_process
+        self.note_world_mutation()
         proc = self.sim.process(flush_process(self, table_name),
                                 name=f"flush-{table_name}")
         self.sim.run()

@@ -93,6 +93,12 @@ class SchedulerConfig:
     #: Overrides for the device pipeline shape (None: program defaults).
     io_unit_pages: Optional[int] = None
     window: Optional[int] = None
+    #: Execution backend: ``"serial"`` (one simulator, the historical
+    #: engine), ``"thread"``, or ``"process"`` (per-device lanes in
+    #: isolated worlds — see :mod:`repro.runtime`). Every backend is
+    #: bit-identical; parallel ones silently run batches they cannot
+    #: prove independent on the serial engine.
+    backend: str = "serial"
 
 
 @dataclass
@@ -126,6 +132,17 @@ class QueryScheduler:
         # Live shared scans, keyed by (device, table): ATTACH targets.
         self._live: dict[tuple[str, str], SharedScanHandle] = {}
         self._admission: dict[str, Resource] = {}
+        #: Parallel-runtime accounting (batches run parallel vs serial,
+        #: fleet builds, fallback reasons) — separate from :attr:`stats`,
+        #: which stays backend-independent.
+        self.runtime_stats: dict = {
+            "backend": self.config.backend,
+            "parallel_batches": 0,
+            "serial_batches": 0,
+            "fleet_builds": 0,
+            "fallbacks": {},
+        }
+        self._runtime = None
 
     # -- submission --------------------------------------------------------
 
@@ -151,13 +168,11 @@ class QueryScheduler:
 
     # -- the run -----------------------------------------------------------
 
-    def gather(self) -> list[ExecutionReport]:
-        """Run every pending submission to completion; reports in order."""
-        submissions, self.submissions = self.submissions, []
-        if not submissions:
-            return []
-        self.stats = {
-            "submitted": len(submissions),
+    @staticmethod
+    def _fresh_stats(submitted: int) -> dict:
+        """A zeroed stats dict (shared with the lane worlds' schedulers)."""
+        return {
+            "submitted": submitted,
             "shared_groups": 0,
             "shared_members": 0,
             "late_attaches": 0,
@@ -170,6 +185,13 @@ class QueryScheduler:
             "max_queue_depth": {},
             "solo_fast_path": 0,
         }
+
+    def gather(self) -> list[ExecutionReport]:
+        """Run every pending submission to completion; reports in order."""
+        submissions, self.submissions = self.submissions, []
+        if not submissions:
+            return []
+        self.stats = self._fresh_stats(len(submissions))
         if len(submissions) == 1 and submissions[0].arrival == 0.0:
             # Solo fast path: a single immediate submission goes through
             # the canonical single-query entry point, so its report is
@@ -494,26 +516,25 @@ class QueryScheduler:
             obs.metrics.counter("sched.saved_page_reads").inc(
                 scan_stats.get("saved_page_reads", 0))
 
-    # -- window accounting -------------------------------------------------
+    # -- the execution engine ----------------------------------------------
 
-    def _run(self, submissions: list[Submission]) -> list[ExecutionReport]:
+    def _execute_units(self, units: list[tuple[str, list[Submission]]]
+                       ) -> None:
+        """Run planned units to completion on *this* scheduler's simulator.
+
+        This is the serial engine: the backend-independent core that the
+        serial backend runs directly on the parent world, that each lane
+        world runs on its clone, and that parallel backends fall back to
+        for batches they cannot prove independent.
+        """
         db = self.db
         sim = db.sim
-        obs = sim.obs
-        units = self._plan(submissions)
         self._admission = {
             name: Resource(sim, self.config.max_inflight_per_device,
                            name=f"sched-admission-{name}")
             for name in db.device_names()
         }
         self._live = {}
-
-        spans_before = len(obs.spans) if obs is not None else 0
-        start = sim.now
-        snapshots = {name: db._busy_snapshot(device)
-                     for name, device in db._devices.items()}
-        host_cpu_before = db.machine.cpu_core_seconds()
-
         procs = []
         for kind, members in units:
             if kind == "shared":
@@ -530,6 +551,38 @@ class QueryScheduler:
             raise PlanError("scheduled batch deadlocked")
         if not gate.ok:
             raise gate.value
+
+    def _backend(self):
+        """The resolved (lazily built) execution backend for this scheduler."""
+        if self._runtime is None:
+            from repro.runtime import resolve_backend
+            self._runtime = resolve_backend(self.config.backend)
+        return self._runtime
+
+    def close(self) -> None:
+        """Shut down backend workers (fleet worlds, forked processes)."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    # -- window accounting -------------------------------------------------
+
+    def _run(self, submissions: list[Submission]) -> list[ExecutionReport]:
+        db = self.db
+        sim = db.sim
+        obs = sim.obs
+        units = self._plan(submissions)
+
+        spans_before = len(obs.spans) if obs is not None else 0
+        start = sim.now
+        snapshots = {name: db._busy_snapshot(device)
+                     for name, device in db._devices.items()}
+        host_cpu_before = db.machine.cpu_core_seconds()
+
+        if self.config.backend == "serial":
+            self._execute_units(units)
+        else:
+            self._backend().execute_units(self, units)
 
         window = sim.now - start
         host_cpu = db.machine.cpu_core_seconds() - host_cpu_before

@@ -42,6 +42,7 @@ from repro.errors import (
     ServingError,
     ShardUnavailable,
 )
+from repro.host.executor import _finalize_aggregates
 from repro.host.planner import (
     ScatterPlan,
     merge_scatter_rows,
@@ -77,6 +78,12 @@ class ServeConfig:
     #: Queries one tenant may hold pending before :meth:`Frontend.submit`
     #: raises :class:`~repro.errors.AdmissionRejected`.
     max_queue_per_tenant: int = 1024
+    #: Execution backend for the device batch — ``"serial"``,
+    #: ``"thread"``, or ``"process"`` (see :mod:`repro.runtime`). ``None``
+    #: uses whatever the ``scheduler`` config says. All backends produce
+    #: bit-identical results; parallel ones trade worker setup for
+    #: wall-clock when shards live on distinct devices.
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -156,7 +163,12 @@ class Frontend:
                  tenants: tuple[TenantSpec, ...] = ()):
         self.db = db
         self.config = config or ServeConfig()
-        self.scheduler = QueryScheduler(db, self.config.scheduler)
+        scheduler_config = self.config.scheduler
+        if (self.config.backend is not None
+                and self.config.backend != scheduler_config.backend):
+            scheduler_config = replace(scheduler_config,
+                                       backend=self.config.backend)
+        self.scheduler = QueryScheduler(db, scheduler_config)
         self.cache = ResultCache(self.config.cache_capacity)
         self._tenants: dict[str, TenantSpec] = {}
         self._buckets: dict[str, TokenBucket] = {}
@@ -315,6 +327,14 @@ class Frontend:
                     if obs is not None:
                         obs.metrics.counter("serve.cache_hits",
                                             tenant=handle.tenant).inc()
+                        # Hits are served queries too: without these the
+                        # serving histograms only described misses, and
+                        # p50 latency *rose* as the hit rate improved.
+                        obs.metrics.histogram("serve.fan_out").observe(
+                            handle.fan_out)
+                        obs.metrics.histogram(
+                            "serve.latency_seconds", tenant=handle.tenant,
+                        ).observe(handle.report.elapsed_seconds)
                     continue
                 if obs is not None:
                     obs.metrics.counter("serve.cache_misses",
@@ -373,7 +393,6 @@ class Frontend:
         """A report served from the cache in O(1) virtual time."""
         query = handle.query
         if query.aggregates:
-            from repro.host.executor import _finalize_aggregates
             rows = _finalize_aggregates(query, value)
         else:
             rows = value
@@ -399,7 +418,6 @@ class Frontend:
         query = handle.query
         shard_rows = [report.rows for report in shard_reports]
         if query.aggregates:
-            from repro.host.executor import _finalize_aggregates
             state = merge_scatter_state(query, shard_rows)
             if key is not None:
                 self.cache.put(key, state)
@@ -427,6 +445,18 @@ class Frontend:
             profile=shard_reports[0].profile,
         )
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend workers (no-op for the serial backend)."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "Frontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- accounting --------------------------------------------------------
 
     @property
@@ -442,4 +472,5 @@ class Frontend:
             "tenants": {name: bucket.granted
                         for name, bucket in sorted(self._buckets.items())},
             "scheduler": dict(self.scheduler.stats),
+            "runtime": dict(self.scheduler.runtime_stats),
         }

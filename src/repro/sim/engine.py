@@ -184,6 +184,22 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    def advance_to(self, when: float) -> None:
+        """Jump an *idle* simulator's clock forward to ``when``.
+
+        The parallel runtime (:mod:`repro.runtime`) keeps one simulator per
+        execution lane; between batches it re-aligns every lane clock to the
+        parent world's clock so all absolute event times stay identical to a
+        single-simulator run. Only an idle simulator may jump: with events
+        pending the jump would reorder them against the new origin.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"advance_to would move time backwards: {when} < {self._now}")
+        if self._queue:
+            raise SimulationError("advance_to on a simulator with pending work")
+        self._now = when
+
     def event(self) -> Event:
         """Create a fresh, externally-triggered event."""
         return Event(self)

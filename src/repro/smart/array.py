@@ -103,6 +103,19 @@ def round_robin_indices(row_count: int, shard_count: int) -> np.ndarray:
     return np.arange(row_count, dtype=np.int64) % shard_count
 
 
+def lane_partition(device_names: Iterable[str]) -> tuple[str, ...]:
+    """Canonical device ordering for per-device parallel execution.
+
+    The fleet's execution *lanes* — one isolated simulation per device
+    group in :mod:`repro.runtime` — are always created, dispatched, and
+    merged in this order, so every parallel run is deterministic whatever
+    the worker scheduling was. Kept here with the other partitioning
+    helpers: this is the same "which worker owns which slice" question as
+    hash/range/round-robin sharding, answered for host-side parallelism.
+    """
+    return tuple(sorted(dict.fromkeys(device_names)))
+
+
 class SmartSsdArray:
     """Round-robin-partitioned storage over N Smart SSDs."""
 
@@ -171,7 +184,12 @@ class SmartSsdArray:
 
         The host acts purely as the coordinator: it OPENs one session per
         device, drains them with GET, and merges the partial aggregates or
-        row chunks — the "parallel DBMS" structure §4.3 sketches.
+        row chunks — the "parallel DBMS" structure §4.3 sketches. (This is
+        *virtual-time* parallelism inside one simulator; to also spread
+        the simulation itself across host cores, run through the
+        scheduler/serving layer with a ``thread``/``process`` backend —
+        :mod:`repro.runtime` — which partitions work by the same
+        per-device lanes as :func:`lane_partition`.)
 
         Per-worker recovery mirrors the single-device executor: lost GET
         replies are re-polled with the ack/resume handshake, crashed worker

@@ -414,6 +414,26 @@ class TestFrontendCache:
         off.gather()
         assert repr(check.result()) == repr(fresh.result())
 
+    def test_cache_hits_record_latency_and_fan_out(self):
+        # Regression: hits used to skip the metrics block entirely, so a
+        # warming cache *thinned out* the latency series instead of
+        # pulling it down — p50 rose as the hit rate improved.
+        db = build_sharded(2, with_part=False)
+        obs = db.enable_observability()
+        frontend = Frontend(db)
+        cold = frontend.submit(q6_query(), tenant="a")
+        frontend.gather()
+        warm = frontend.submit(q6_query(), tenant="a")
+        frontend.gather()
+        assert not cold.cached and warm.cached
+        snapshot = obs.metrics.snapshot()
+        latency = snapshot["serve.latency_seconds{tenant=a}"]
+        assert latency["count"] == 2
+        assert latency["min"] == frontend.config.cache_hit_seconds
+        fan_out = snapshot["serve.fan_out"]
+        assert fan_out["count"] == 2
+        assert fan_out["min"] == 0  # the hit never fanned out
+
     def test_cache_off_never_reports_hits(self):
         frontend = Frontend(build_sharded(2, with_part=False),
                             ServeConfig(cache_enabled=False))
