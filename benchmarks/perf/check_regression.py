@@ -10,6 +10,9 @@ Virtual-time metrics (the scheduler's queries/sec and speedup figures)
 come from the discrete-event simulation and are deterministic across
 machines, so they gate on absolute floors (``FLOORS``) instead of the
 relative tolerance: the current run must meet the floor outright.
+Deterministic lower-is-better figures (write amplification, wear spread,
+interference ratios) gate on absolute ceilings (``CEILINGS``) the same
+way: the current run must come in at or under the bound.
 
 The ``parallel`` block (serial vs parallel wall-clock of the E6 replay)
 is gated separately: its speedup floor only arms on machines with at
@@ -35,7 +38,7 @@ import shutil
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "BENCH_PR9.json"
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR10.json"
 
 #: Allowed fractional regression before the gate fails.
 TOLERANCE = 0.25
@@ -48,7 +51,10 @@ TOLERANCE = 0.25
 #: >= 5x fewer interface bytes than the full qualifying set. The ISSUE-8
 #: contract: the serving layer's scatter/gather delivers >= 2.5x virtual
 #: queries/sec at four shards vs one, and result-cache hits come back
-#: >= 50x faster than the cold run in every sharded world.
+#: >= 50x faster than the cold run in every sharded world. The ISSUE-10
+#: contract: cost-benefit GC with wear leveling beats greedy on write
+#: amplification by >= 1.2x under overwrite skew, and concurrent DML
+#: leaves shared-scan results bit-identical (1.0 = identical).
 FLOORS = {
     "sched_fanin8_speedup_x": 2.0,
     "sched_fanin8_queries_per_vs": 600.0,
@@ -58,6 +64,21 @@ FLOORS = {
     "serve_shard_scaling_x": 2.5,
     "serve_4shard_queries_per_vs": 350.0,
     "serve_cache_hit_speedup_x": 50.0,
+    "htap_wa_policy_gain_x": 1.2,
+    "htap_scans_bit_identical": 1.0,
+}
+
+#: Absolute maximums for deterministic lower-is-better figures (the other
+#: half of the ISSUE-10 contract). The E7 overwrite-skew churn measured
+#: WA 12.84 (greedy) / 9.85 (cost-benefit + wear leveling) and wear
+#: spread 163; the mixed DML/scan window measured scan p99 interference
+#: 1.003x. Bounds sit with comfortable headroom but far below where a
+#: policy or scheduler regression would land.
+CEILINGS = {
+    "htap_greedy_wa": 20.0,
+    "htap_costbenefit_wa": 10.5,
+    "htap_wear_spread_erases": 250.0,
+    "htap_scan_p99_interference_x": 1.5,
 }
 
 #: Calibration-unit bounds locking in ISSUE-7's batch-execution wins: the
@@ -111,9 +132,9 @@ def _normalize(report: dict) -> dict[str, float]:
     calibration = report["calibration_s"]
     normalized = {}
     for key, value in report["metrics"].items():
-        if key in FLOORS:
-            # Floor-gated: deterministic virtual-time figures, checked as
-            # absolute minimums rather than calibrated ratios.
+        if key in FLOORS or key in CEILINGS:
+            # Floor/ceiling-gated: deterministic virtual-time figures,
+            # checked as absolute bounds rather than calibrated ratios.
             continue
         if key.endswith("_per_s"):
             # Work per calibration-unit of CPU: higher is better.
@@ -193,6 +214,17 @@ def main(argv=None) -> int:
             if value < floor:
                 failures.append(f"{key}: {value:,.1f} below floor "
                                 f"{floor:,.1f}")
+        for key, ceiling in sorted(CEILINGS.items()):
+            value = current_raw.get(key)
+            if value is None:
+                failures.append(f"{key}: missing from current run")
+                continue
+            marker = "FAIL" if value > ceiling else "ok"
+            print(f"  [{marker}] {key}: {value:,.2f} "
+                  f"(ceiling {ceiling:,.2f})")
+            if value > ceiling:
+                failures.append(f"{key}: {value:,.2f} above ceiling "
+                                f"{ceiling:,.2f}")
     for key in sorted(baseline):
         if key not in current:
             failures.append(f"{key}: missing from current run")

@@ -10,7 +10,9 @@ interface shrink (both machine-independent), the serving layer's sharded
 scatter/gather scaling and result-cache hit speedup (also virtual-time
 figures from the E6 traffic replay), the parallel fleet runtime's
 serial-vs-parallel wall-clock on the same replay (a top-level
-``parallel`` block, CPU-count-conditional gate), and one more
+``parallel`` block, CPU-count-conditional gate), the HTAP write path's
+GC-policy face-off and DML-vs-scan interference (virtual-time/seeded
+figures from the E7 experiment, floor- and ceiling-gated), and one more
 machine-independent metric: the total Python function-call count of a fixed
 workload, captured with cProfile. Wall-clock numbers are normalized by a
 CPU calibration loop so the regression gate (``check_regression.py``) is
@@ -33,7 +35,7 @@ from pathlib import Path
 import numpy as np
 
 #: The PR whose baseline this harness emits by default.
-CURRENT_PR = 9
+CURRENT_PR = 10
 
 
 def default_output(pr: int = CURRENT_PR) -> Path:
@@ -318,6 +320,30 @@ def bench_serving():
     }
 
 
+def bench_htap():
+    """HTAP write path: GC-policy face-off + DML-vs-scan interference.
+
+    Every figure is seeded or virtual-time, so all are deterministic and
+    machine-independent. Gated absolutely (``check_regression.FLOORS`` /
+    ``CEILINGS``): cost-benefit + wear leveling must beat greedy on write
+    amplification under overwrite skew, wear spread must stay bounded,
+    concurrent DML may not move scan p99 past a small ceiling, and shared
+    scans must return bit-identical results with DML in the window.
+    """
+    from repro.bench.ablations import htap_metrics
+
+    metrics = htap_metrics()
+    return {
+        "htap_greedy_wa": metrics["htap_greedy_wa"],
+        "htap_costbenefit_wa": metrics["htap_costbenefit_wa"],
+        "htap_wa_policy_gain_x": metrics["htap_wa_policy_gain_x"],
+        "htap_wear_spread_erases": metrics["htap_wear_spread_erases"],
+        "htap_scan_p99_interference_x":
+            metrics["htap_scan_p99_interference_x"],
+        "htap_scans_bit_identical": metrics["htap_scans_bit_identical"],
+    }
+
+
 def bench_parallel_serving(backend: str = "process") -> dict:
     """Wall-clock of the E6 replay, serial engine vs a parallel backend.
 
@@ -430,7 +456,7 @@ def main(argv=None) -> int:
     metrics = {}
     for section in (bench_encode, bench_decode, bench_kernel, bench_des,
                     bench_figures, bench_scheduler, bench_skipping,
-                    bench_serving):
+                    bench_serving, bench_htap):
         section_metrics = section()
         metrics.update(section_metrics)
         for key, value in section_metrics.items():

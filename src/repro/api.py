@@ -185,6 +185,23 @@ class Session:
         self._check_open()
         return self.db.flush_table(table_name)
 
+    def submit_update(self, table_name: str, predicate, assignments,
+                      at: float = 0.0):
+        """Enqueue an UPDATE for the next :meth:`gather`; returns its ticket.
+
+        The statement runs as a first-class scheduler write unit
+        (:mod:`repro.writepath`): per-device write admission alongside
+        scan admission, group-flushed dirty-page write-back, and FTL
+        write-amplification accounting on the returned
+        :class:`~repro.writepath.WriteTicket`. ``at`` is the arrival
+        offset in virtual seconds. Unlike :meth:`update`, this always
+        goes to the plain scheduler — with serving active, synchronous
+        :meth:`update` remains the write-through front door.
+        """
+        self._check_open()
+        return self.scheduler.submit_update(table_name, predicate,
+                                            assignments, at=at)
+
     # -- scheduled / served execution --------------------------------------
 
     @property

@@ -11,6 +11,8 @@ These probe the design choices DESIGN.md calls out:
 * **E1 optimizer** — §4.3's cost-based pushdown decision vs. ground truth.
 * **E2 multi-device array** — §4.3's "parallel DBMS" endpoint.
 * **E3 concurrent queries** — §4.3's concurrent-session interference.
+* **E7 HTAP write path** — GC policy face-off under overwrite skew, and
+  concurrent DML streams against shared scans on the same device.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ from repro.sim import Simulator
 from repro.smart.array import SmartSsdArray
 from repro.smart.device import SmartSsdSpec
 from repro.storage import Layout
-from repro.units import MB
+from repro.units import MB, fmt_ratio
 from repro.workloads import (
     generate_lineitem,
     lineitem_schema,
@@ -501,4 +503,203 @@ def ext_serving(
               "and re-merges on the host, so the batch window shrinks "
               "with the fleet; repeats are version-checked cache hits "
               "that never touch a device",
+    )
+
+
+def _htap_gc_face_off(rounds: int = 12,
+                      hot_frac: float = 0.05,
+                      hot_prob: float = 0.95) -> dict:
+    """GC policy face-off under overwrite skew (seeded, deterministic).
+
+    Fills the logical space once, then churns it with a skewed overwrite
+    stream where ``hot_frac`` of the pages receive ``hot_prob`` of the
+    writes. Hot blocks invalidate themselves quickly, so greedy min-valid
+    victim selection keeps cleaning blocks whose pages were about to die
+    anyway; cost-benefit's age term waits them out and cleans cold blocks
+    when it is actually worth it — the classic LFS/eNVy result.
+    """
+    import numpy as np
+
+    from repro.flash import (
+        CostBenefitGcPolicy,
+        NandArray,
+        NandGeometry,
+        PageMappedFtl,
+    )
+    from repro.storage.page import PAGE_SIZE
+
+    geometry = NandGeometry(channels=2, chips_per_channel=2,
+                            blocks_per_chip=48, pages_per_block=16)
+    blank = bytes(PAGE_SIZE)
+    legs = {}
+    for label, policy in (
+            ("greedy", "greedy"),
+            ("cost-benefit+wl", CostBenefitGcPolicy(wear_leveling=True))):
+        nand = NandArray(geometry)
+        ftl = PageMappedFtl(geometry, nand, gc_policy=policy)
+        working_set = ftl.logical_capacity_pages
+        for lpn in range(working_set):           # fill once
+            ftl.write(lpn, blank)
+        hot = max(1, int(working_set * hot_frac))
+        rng = np.random.default_rng(42)
+        total = rounds * working_set
+        draws = rng.random(total)
+        hots = rng.integers(0, hot, total)
+        colds = rng.integers(hot, working_set, total)
+        for i in range(total):                   # then churn, skewed
+            ftl.write(int(hots[i] if draws[i] < hot_prob else colds[i]),
+                      blank)
+        legs[label] = {
+            "wa": ftl.stats.write_amplification,
+            "wear_spread": ftl.wear_spread(),
+            "erases": ftl.stats.erases,
+        }
+    return legs
+
+
+def _htap_mixed_world(run_scale: float, scans: int, dml_streams: int,
+                      with_dml: bool) -> dict:
+    """One scheduler window: shared Q6 scans, optionally with DML streams.
+
+    The scans target LINEITEM; the DML streams target a separate hot
+    table on the *same device*, so interference flows through the shared
+    interface/CPU — never through the scan results themselves.
+    """
+    import numpy as np
+
+    from repro.engine.expressions import Col, Compare, Const, Mul
+    from repro.host.db import Database
+    from repro.sched import QueryScheduler
+    from repro.storage import Column, Int32Type, Schema
+
+    db = Database()
+    db.create_smart_ssd()
+    db.create_table("lineitem", lineitem_schema(), Layout.PAX,
+                    generate_lineitem(run_scale), "smart-ssd")
+    hot_schema = Schema([Column("k", Int32Type()), Column("v", Int32Type())])
+    hot_rows = np.zeros(20_000, dtype=hot_schema.numpy_dtype())
+    hot_rows["k"] = np.arange(20_000)
+    hot_rows["v"] = np.arange(20_000) % 97
+    db.create_table("hot", hot_schema, Layout.PAX, hot_rows,
+                    "smart-ssd")
+
+    scheduler = QueryScheduler(db)
+    for i in range(scans):
+        scheduler.submit(q6_query(), "smart", at=i * 1e-4)
+    tickets = []
+    if with_dml:
+        for j in range(dml_streams):
+            tickets.append(scheduler.submit_update(
+                "hot",
+                Compare(Col("k"), ">=", Const(j * 3_000)),
+                {"v": Mul(Col("v"), Const(2))},
+                at=j * 2e-4))
+    reports = scheduler.gather()
+    flushed = [t for t in tickets if t.flushed]
+    return {
+        "reports": reports,
+        "latencies": [r.elapsed_seconds for r in reports],
+        "rows_changed": scheduler.stats["write_rows_changed"],
+        "pages_flushed": scheduler.stats["write_pages_flushed"],
+        "group_flushes": scheduler.stats["group_flushes"],
+        "host_writes": sum(t.host_writes for t in flushed),
+        "gc_relocations": sum(t.gc_relocations for t in flushed),
+    }
+
+
+def htap_metrics(run_scale: float = 0.002,
+                 rounds: int = 12,
+                 scans: int = 6,
+                 dml_streams: int = 6) -> dict:
+    """E7 raw metrics (floats) — shared by :func:`ext_htap` and the perf
+    harness's floor/ceiling gates.
+
+    Both halves are seeded and run in virtual time, so every value is
+    deterministic and machine-independent.
+    """
+    import numpy as np
+
+    legs = _htap_gc_face_off(rounds=rounds)
+    greedy = legs["greedy"]
+    costbenefit = legs["cost-benefit+wl"]
+
+    base = _htap_mixed_world(run_scale, scans, dml_streams, with_dml=False)
+    mixed = _htap_mixed_world(run_scale, scans, dml_streams, with_dml=True)
+    identical = all(
+        b.rows == m.rows
+        for b, m in zip(base["reports"], mixed["reports"][:scans]))
+    p99_base = float(np.percentile(base["latencies"], 99))
+    p99_mixed = float(np.percentile(mixed["latencies"][:scans], 99))
+
+    host_writes = mixed["host_writes"]
+    device_wa = ((host_writes + mixed["gc_relocations"]) / host_writes
+                 if host_writes else 0.0)
+    return {
+        "htap_greedy_wa": greedy["wa"],
+        "htap_costbenefit_wa": costbenefit["wa"],
+        "htap_wa_policy_gain_x": greedy["wa"] / costbenefit["wa"],
+        "htap_greedy_wear_spread": float(greedy["wear_spread"]),
+        "htap_wear_spread_erases": float(costbenefit["wear_spread"]),
+        "htap_scan_p99_base_ms": p99_base * 1e3,
+        "htap_scan_p99_mixed_ms": p99_mixed * 1e3,
+        "htap_scan_p99_interference_x": p99_mixed / p99_base,
+        "htap_scans_bit_identical": float(identical),
+        "htap_dml_rows_changed": float(mixed["rows_changed"]),
+        "htap_dml_pages_flushed": float(mixed["pages_flushed"]),
+        "htap_group_flushes": float(mixed["group_flushes"]),
+        "htap_dml_device_wa": device_wa,
+    }
+
+
+def ext_htap(run_scale: float = 0.002,
+             rounds: int = 12,
+             scans: int = 6,
+             dml_streams: int = 6) -> ExperimentResult:
+    """E7: the HTAP write path — GC policies under skew, DML vs scans.
+
+    Two halves on the same substrate. First, a seeded overwrite-skew
+    churn compares the pluggable GC policies head to head: cost-benefit
+    with wear leveling must beat greedy on both write amplification and
+    wear spread. Second, a full-stack mixed window runs concurrent DML
+    streams (scheduler write units, group-flushed) against shared Q6
+    scans on the same device: scan results must stay bit-identical to a
+    DML-free window, and scan p99 may only degrade within a small bound
+    because writes pass their own admission gate.
+    """
+    metrics = htap_metrics(run_scale=run_scale, rounds=rounds,
+                           scans=scans, dml_streams=dml_streams)
+    rows = [
+        ["greedy WA (skewed churn)",
+         f"{metrics['htap_greedy_wa']:.3f}"],
+        ["cost-benefit+WL WA",
+         f"{metrics['htap_costbenefit_wa']:.3f}"],
+        ["WA policy gain", fmt_ratio(metrics["htap_wa_policy_gain_x"])],
+        ["greedy wear spread (erases)",
+         f"{metrics['htap_greedy_wear_spread']:.0f}"],
+        ["cost-benefit+WL wear spread (erases)",
+         f"{metrics['htap_wear_spread_erases']:.0f}"],
+        ["scan p99, scans only (ms)",
+         f"{metrics['htap_scan_p99_base_ms']:.3f}"],
+        ["scan p99, scans + DML (ms)",
+         f"{metrics['htap_scan_p99_mixed_ms']:.3f}"],
+        ["scan p99 interference",
+         fmt_ratio(metrics["htap_scan_p99_interference_x"])],
+        ["scan results bit-identical with DML",
+         bool(metrics["htap_scans_bit_identical"])],
+        ["DML rows changed", f"{metrics['htap_dml_rows_changed']:.0f}"],
+        ["DML pages flushed (group flush)",
+         f"{metrics['htap_dml_pages_flushed']:.0f}"],
+        ["group flushes", f"{metrics['htap_group_flushes']:.0f}"],
+        ["DML device-level WA", f"{metrics['htap_dml_device_wa']:.2f}"],
+    ]
+    return ExperimentResult(
+        experiment="Extension E7: HTAP write path — GC policy face-off "
+                   "and concurrent DML vs shared scans",
+        headers=["measure", "value"],
+        rows=rows,
+        notes="age-aware cost-benefit GC waits out hot blocks that are "
+              "about to self-invalidate, cutting WA and wear spread vs "
+              "greedy; in the mixed window, write units pass a separate "
+              "per-device admission gate, so shared scans stay "
+              "bit-identical and p99 barely moves",
     )

@@ -31,6 +31,7 @@ from repro.bench.ablations import (
     ablation_layout,
     ext_caching_benefit,
     ext_concurrent_queries,
+    ext_htap,
     ext_multi_ssd,
     ext_optimizer,
     ext_scheduler,
@@ -81,6 +82,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {
            ext_scheduler),
     "e6": ("extension: multi-tenant serving over a sharded fleet",
            ext_serving),
+    "e7": ("extension: HTAP write path (GC policies, DML vs scans)",
+           ext_htap),
 }
 
 
@@ -186,6 +189,56 @@ def _trace_sched():
     return db, run
 
 
+def _trace_htap():
+    """A DML churn window: scheduler write units driving FTL GC.
+
+    A small-geometry device so sustained overwrites run it out of free
+    blocks: the trace shows write admission (``sched.write_queued``),
+    the write units themselves, and the GC passes (``ftl.gc`` spans,
+    ``ftl.wear`` histogram) their flushes force.
+    """
+    import numpy as np
+
+    from repro.flash.geometry import NandGeometry
+    from repro.host.db import Database
+    from repro.smart.device import SmartSsdSpec
+    from repro.storage import Column, Int32Type, Layout, Schema
+
+    db = Database()
+    db.create_smart_ssd(SmartSsdSpec(
+        geometry=NandGeometry(channels=1, chips_per_channel=2,
+                              blocks_per_chip=16, pages_per_block=16),
+        gc_policy="cost-benefit", gc_wear_leveling=True))
+    schema = Schema([Column("k", Int32Type()), Column("v", Int32Type())])
+    count = 60_000
+    rows = np.zeros(count, dtype=schema.numpy_dtype())
+    rows["k"] = np.arange(count)
+    rows["v"] = np.arange(count) % 97
+    db.create_table("hot", schema, Layout.PAX, rows, "smart-ssd")
+
+    def run(db):
+        from repro.engine.expressions import Add, Col, Compare, Const
+        from repro.sched import QueryScheduler
+        scheduler = QueryScheduler(db)
+        changed = 0
+        window = 0.0
+        for __ in range(6):
+            ticket = scheduler.submit_update(
+                "hot", Compare(Col("k"), ">=", Const(0)),
+                {"v": Add(Col("v"), Const(1))})
+            scheduler.gather()
+            changed += ticket.rows_changed
+            window += scheduler.stats["window_seconds"]
+        return {
+            "label": "DML churn (write units -> FTL GC)",
+            "placement": "smart",
+            "elapsed_seconds": window,
+            "row_count": changed,
+            "span_names": ("sched.write_queued", "write", "ftl.gc"),
+        }
+    return db, run
+
+
 #: Traceable runs: name -> builder returning (db, run) where run(db)
 #: executes under observability and returns a summary dict.
 TRACEABLE: dict[str, Callable] = {
@@ -193,6 +246,7 @@ TRACEABLE: dict[str, Callable] = {
     "fig3_q6_host": _trace_fig3_q6_host,
     "fig7_q14": _trace_fig7_q14,
     "sched": _trace_sched,
+    "htap": _trace_htap,
 }
 
 

@@ -25,15 +25,25 @@ from repro.flash.interface import (
 )
 from repro.flash.nand import NandArray, PageState
 from repro.flash.ftl import FtlStats, PageMappedFtl
+from repro.flash.gc import (
+    CostBenefitGcPolicy,
+    GcPolicy,
+    GreedyGcPolicy,
+    make_gc_policy,
+)
 from repro.flash.controller import FlashController
 from repro.flash.dram import DeviceDram
 from repro.flash.ssd import DevicePower, Ssd, SsdSpec
 
 __all__ = [
+    "CostBenefitGcPolicy",
     "DevicePower",
     "DeviceDram",
     "FlashController",
     "FtlStats",
+    "GcPolicy",
+    "GreedyGcPolicy",
+    "make_gc_policy",
     "Hdd",
     "HddSpec",
     "HostInterfaceSpec",

@@ -9,26 +9,38 @@ The FTL maps Logical Page Numbers (the host's view; one logical page is one
   interleaving §2 of the paper describes.
 * **Out-of-place updates** — rewriting an LPN invalidates the old flash page
   and programs a fresh one.
-* **Greedy garbage collection with a per-die spare block** — when a die
-  runs low on free pages, the block with the fewest valid pages is
-  collected: its live pages are relocated (into normal free slots, or into
-  the die's dedicated spare block under emergency pressure) and the block
-  erased. The spare guarantees that *any* victim is collectible, so the
-  die can always compact as long as it holds invalid pages.
+* **Policy-driven garbage collection with a per-die spare block** — when a
+  die runs low on free pages, a victim block chosen by the configured
+  :class:`~repro.flash.gc.GcPolicy` (greedy min-valid by default;
+  age-weighted cost-benefit with a wear-leveling bias as the alternative)
+  is collected: its live pages are relocated (into normal free slots, or
+  into the die's dedicated spare block under emergency pressure) and the
+  block erased. The spare guarantees that *any* victim is collectible, so
+  the die can always compact as long as it holds invalid pages.
 * **Pressure steering** — live data drifts between dies under random
   overwrites (an overwrite invalidates the old copy's die but programs the
   round-robin target die), so writes shed from squeezed dies to the die
   with the most reclaimable space.
+* **Sustained-GC indexes** — a persistent PPN -> LPN reverse map (updated
+  on program/invalidate, so relocation never rebuilds it from the forward
+  map) and a per-die lazy min-heap over sealed blocks' valid counts (so
+  victim selection never linear-scans the die). Both are pure indexes:
+  victims, relocations, and stats are bit-identical to the original
+  scan-based collector.
 
-Stats expose host writes vs. GC relocations, giving a write-amplification
-factor the tests check.
+Stats expose host writes vs. GC relocations (the write-amplification
+factor the tests check) plus per-block erase counts — the wear histogram
+and spread the leveling policy is gated on.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro.errors import DeviceError, FlashError, ProgramFailError
+from repro.flash.gc import GcPolicy, GreedyGcPolicy, make_gc_policy
 from repro.flash.geometry import NandGeometry
 from repro.flash.nand import NandArray, PageState
 
@@ -52,8 +64,12 @@ class FtlStats:
     gc_relocations: int = 0
     erases: int = 0
     program_retries: int = 0    # NAND program failures retried on a new slot
-    recoveries: int = 0         # unclean-shutdown recovery scans completed
+    recoveries: int = 0        # unclean-shutdown recovery scans completed
     recovered_pages: int = 0    # live pages remapped by those scans
+    #: Erase count per flat block id (wear). Like real firmware's per-block
+    #: cycle counters this survives power loss — it is accounting, not the
+    #: volatile map state an unclean shutdown drops.
+    block_erases: dict[int, int] = field(default_factory=dict)
 
     @property
     def write_amplification(self) -> float:
@@ -61,6 +77,15 @@ class FtlStats:
         if self.host_writes == 0:
             return 1.0
         return (self.host_writes + self.gc_relocations) / self.host_writes
+
+    @property
+    def wear_histogram(self) -> dict[int, int]:
+        """Erase-count -> number of blocks at that count (erased blocks
+        only; :meth:`PageMappedFtl.wear_histogram` includes the zeros)."""
+        histogram: dict[int, int] = {}
+        for count in self.block_erases.values():
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram
 
 
 @dataclass
@@ -74,13 +99,22 @@ class _Die:
     next_page: int = 0
     spare_block: int = -1   # always-erased GC relocation reserve
     invalid_pages: int = 0  # reclaimable pages on this die
+    #: GC candidate blocks: written and rotated out of the active slot
+    #: (i.e. not active, not spare, not free). Victims come from here.
+    sealed: set[int] = field(default_factory=set)
+    #: Lazy min-heap of (valid_count, block) over sealed blocks. Entries
+    #: are pushed at seal time and on every invalidation; stale entries
+    #: (count moved on, block erased/reused) are discarded on pop.
+    victim_heap: list[tuple[int, int]] = field(default_factory=list)
 
 
 class PageMappedFtl:
-    """LPN -> PPN mapping with striped allocation and greedy GC."""
+    """LPN -> PPN mapping with striped allocation and pluggable GC."""
 
     def __init__(self, geometry: NandGeometry, nand: NandArray,
-                 overprovision: float = DEFAULT_OVERPROVISION):
+                 overprovision: float = DEFAULT_OVERPROVISION,
+                 gc_policy: Union[GcPolicy, str, None] = None,
+                 sim=None):
         if not 0.0 <= overprovision < 0.5:
             raise DeviceError(f"unreasonable overprovision {overprovision}")
         if geometry.blocks_per_chip < GC_HEADROOM_BLOCKS + 2:
@@ -88,7 +122,18 @@ class PageMappedFtl:
         self.geometry = geometry
         self.nand = nand
         self.stats = FtlStats()
+        self.gc_policy = make_gc_policy(gc_policy)
+        #: Optional simulator binding; only consulted for observability
+        #: (``sim.obs``) — the FTL itself is untimed firmware state.
+        self._sim = sim
         self._map: dict[int, int] = {}
+        #: Persistent PPN -> LPN reverse index (exact inverse of _map),
+        #: maintained on program/invalidate so GC relocation is O(live
+        #: pages) instead of O(map size) per collected block.
+        self._rmap: dict[int, int] = {}
+        #: Write sequence of each block's most recent program — the age
+        #: signal the cost-benefit policy weighs.
+        self._block_write_seq: dict[tuple[int, int, int], int] = {}
         self._valid_count: dict[tuple[int, int, int], int] = {}
         self._dies: list[_Die] = []
         self._die_of: dict[tuple[int, int], _Die] = {}
@@ -213,6 +258,8 @@ class PageMappedFtl:
         data_map, state_map, oob_map = nand._data, nand._state, nand._oob
         valid = self._valid_count
         lpn_map = self._map
+        rmap = self._rmap
+        block_seq = self._block_write_seq
         seq = self._write_seq
         index = self._next_die
         blocks_per_chip = geometry.blocks_per_chip
@@ -224,6 +271,8 @@ class PageMappedFtl:
             die = dies[index]
             index = (index + 1) % die_count
             if die.active_block < 0 or die.next_page >= pages_per_block:
+                if die.active_block >= 0:
+                    self._seal_block(die, die.active_block)
                 die.active_block = die.free_blocks.pop(0)
                 die.next_page = 0
             ppn = (((die.channel * chips_per_channel + die.chip)
@@ -236,7 +285,10 @@ class PageMappedFtl:
             oob_map[ppn] = (first_lpn + offset, seq)
             key = (die.channel, die.chip, die.active_block)
             valid[key] = valid.get(key, 0) + 1
-            lpn_map[first_lpn + offset] = ppn
+            block_seq[key] = seq
+            lpn = first_lpn + offset
+            lpn_map[lpn] = ppn
+            rmap[ppn] = lpn
         nand.programs += n
         self.stats.host_writes += n
         self._write_seq = seq
@@ -289,6 +341,8 @@ class PageMappedFtl:
                          self.geometry.unflatten(ppn)[2])
             self._valid_count[block_key] = (
                 self._valid_count.get(block_key, 0) + 1)
+            self._block_write_seq[block_key] = self._write_seq
+            self._rmap[ppn] = lpn
             return ppn
         raise DeviceError(
             f"die ({die.channel},{die.chip}) failed {PROGRAM_RETRY_LIMIT} "
@@ -302,6 +356,8 @@ class PageMappedFtl:
             if not die.free_blocks:
                 raise DeviceError(
                     f"die ({die.channel},{die.chip}) has no free blocks")
+            if die.active_block >= 0:
+                self._seal_block(die, die.active_block)
             die.active_block = die.free_blocks.pop(0)
             die.next_page = 0
         ppn = self.geometry.ppn(die.channel, die.chip, die.active_block,
@@ -343,54 +399,113 @@ class PageMappedFtl:
                 # Emergency: rotate the spare in as the active block. The
                 # retired active block's unwritten tail is recovered when
                 # that block is eventually erased.
+                if die.active_block >= 0:
+                    self._seal_block(die, die.active_block)
                 die.active_block = die.spare_block
                 die.next_page = 0
                 die.spare_block = -1
                 used_spare = True
-            if live_ppns:
-                reverse = {ppn: lpn for lpn, ppn in self._map.items()}
-                for ppn in live_ppns:
-                    lpn = reverse.get(ppn)
-                    if lpn is None:
-                        raise FlashError(f"orphan programmed page {ppn}")
-                    data = self.nand.read(ppn)
-                    self._invalidate_ppn(ppn)
-                    new_ppn = self._program_on_die(die, data, lpn)
-                    self.stats.gc_relocations += 1
-                    self._map[lpn] = new_ppn
+            for ppn in live_ppns:
+                lpn = self._rmap.get(ppn)
+                if lpn is None:
+                    raise FlashError(f"orphan programmed page {ppn}")
+                data = self.nand.read(ppn)
+                self._invalidate_ppn(ppn)
+                new_ppn = self._program_on_die(die, data, lpn)
+                self.stats.gc_relocations += 1
+                self._map[lpn] = new_ppn
             self.nand.erase_block(channel, chip, block)
             # The erase reclaims the block's pre-GC invalid pages plus the
             # ones relocation just created.
             die.invalid_pages -= invalid_in_block + len(live_ppns)
             self._valid_count.pop(victim, None)
+            self._block_write_seq.pop(victim, None)
+            die.sealed.discard(block)
             if used_spare or die.spare_block < 0:
                 die.spare_block = block
             else:
                 die.free_blocks.append(block)
             self.stats.erases += 1
+            flat = self._flat_block(victim)
+            wear = self.stats.block_erases.get(flat, 0) + 1
+            self.stats.block_erases[flat] = wear
+            obs = None if self._sim is None else self._sim.obs
+            if obs is not None:
+                obs.span("ftl.gc", track="ftl",
+                         policy=self.gc_policy.name, channel=channel,
+                         chip=chip, block=block,
+                         relocated=len(live_ppns),
+                         reclaimed=invalid_in_block,
+                         used_spare=used_spare).__enter__().finish()
+                obs.metrics.counter("ftl.gc.erases").inc()
+                if live_ppns:
+                    obs.metrics.counter("ftl.gc.relocations").inc(
+                        len(live_ppns))
+                obs.metrics.histogram("ftl.wear").observe(wear)
         finally:
             self._gc_victims.discard(victim)
         return True
 
     def _pick_victim(self, die: _Die) -> tuple[int, int, int] | None:
-        """The die's non-active written block with the fewest valid pages."""
-        best = None
-        best_valid = None
-        for block in range(self.geometry.blocks_per_chip):
-            if (block == die.active_block or block == die.spare_block
-                    or block in die.free_blocks):
-                continue
+        """The configured policy's victim for ``die`` (None: no gain)."""
+        return self.gc_policy.pick_victim(self, die)
+
+    def _seal_block(self, die: _Die, block: int) -> None:
+        """Retire ``block`` from the active slot into the GC candidate set."""
+        die.sealed.add(block)
+        heapq.heappush(
+            die.victim_heap,
+            (self._valid_count.get((die.channel, die.chip, block), 0),
+             block))
+
+    def _min_valid_victim(self, die: _Die) -> tuple[int, int, int] | None:
+        """The sealed block with the fewest valid pages (greedy pick).
+
+        Pops the die's lazy heap past stale entries (count moved on, block
+        erased or re-activated, block mid-collection); ties resolve to the
+        lowest block number — exactly the original linear scan's answer.
+        """
+        heap = die.victim_heap
+        while heap:
+            valid, block = heap[0]
             key = (die.channel, die.chip, block)
-            if key in self._gc_victims:
+            if (block not in die.sealed
+                    or key in self._gc_victims
+                    or self._valid_count.get(key, 0) != valid):
+                heapq.heappop(heap)
                 continue
-            valid = self._valid_count.get(key, 0)
-            if best_valid is None or valid < best_valid:
-                best, best_valid = key, valid
-        # Collecting a fully-valid block makes no progress.
-        if (best_valid is not None
-                and best_valid >= self.geometry.pages_per_block):
-            return None
-        return best
+            # Collecting a fully-valid block makes no progress; leave the
+            # entry for when invalidations shrink it.
+            if valid >= self.geometry.pages_per_block:
+                return None
+            return key
+        return None
+
+    def _flat_block(self, key: tuple[int, int, int]) -> int:
+        """Flatten a (channel, chip, block) key to one array-wide id."""
+        channel, chip, block = key
+        return ((channel * self.geometry.chips_per_channel + chip)
+                * self.geometry.blocks_per_chip + block)
+
+    # -- wear reporting -----------------------------------------------------
+
+    def wear_histogram(self) -> dict[int, int]:
+        """Erase-count -> block count over *all* physical blocks."""
+        histogram = dict(self.stats.wear_histogram)
+        total = self.geometry.dies * self.geometry.blocks_per_chip
+        never = total - len(self.stats.block_erases)
+        if never:
+            histogram[0] = histogram.get(0, 0) + never
+        return histogram
+
+    def wear_spread(self) -> int:
+        """Max minus min per-block erase count (never-erased counts as 0)."""
+        erases = self.stats.block_erases
+        if not erases:
+            return 0
+        total = self.geometry.dies * self.geometry.blocks_per_chip
+        low = 0 if len(erases) < total else min(erases.values())
+        return max(erases.values()) - low
 
     # -- crash recovery -------------------------------------------------------
 
@@ -402,7 +517,9 @@ class PageMappedFtl:
         All host-facing operations raise until :meth:`recover` runs.
         """
         self._map = {}
+        self._rmap = {}
         self._valid_count = {}
+        self._block_write_seq = {}
         self._gc_victims = set()
         for die in self._dies:
             die.free_blocks = []
@@ -410,6 +527,8 @@ class PageMappedFtl:
             die.next_page = 0
             die.spare_block = -1
             die.invalid_pages = 0
+            die.sealed = set()
+            die.victim_heap = []
         self._needs_recovery = True
 
     def recover(self) -> int:
@@ -442,11 +561,24 @@ class PageMappedFtl:
             self.nand.invalidate(ppn)
 
         self._map = {lpn: ppn for lpn, (__, ppn) in best.items()}
+        self._rmap = {ppn: lpn for lpn, ppn in self._map.items()}
         self._valid_count = {}
         for ppn in self._map.values():
             channel, chip, block, __ = geometry.unflatten(ppn)
             key = (channel, chip, block)
             self._valid_count[key] = self._valid_count.get(key, 0) + 1
+        # Rebuild each block's age signal from the surviving out-of-band
+        # sequence numbers (max over the block's programmed pages).
+        self._block_write_seq = {}
+        for ppn in self.nand.programmed_ppns():
+            meta = self.nand.oob(ppn)
+            if meta is None:
+                continue
+            channel, chip, block, __ = geometry.unflatten(ppn)
+            key = (channel, chip, block)
+            seq = meta[1]
+            if seq > self._block_write_seq.get(key, 0):
+                self._block_write_seq[key] = seq
 
         for die in self._dies:
             erased_blocks = []
@@ -469,6 +601,15 @@ class PageMappedFtl:
             die.active_block = -1
             die.next_page = 0
             die.invalid_pages = invalid
+            # Every non-erased block is conservatively sealed: with no
+            # active block, they are all GC candidates again.
+            die.sealed = (set(range(geometry.blocks_per_chip))
+                          - set(die.free_blocks) - {die.spare_block})
+            die.victim_heap = [
+                (self._valid_count.get((die.channel, die.chip, block), 0),
+                 block)
+                for block in sorted(die.sealed)]
+            heapq.heapify(die.victim_heap)
 
         self._write_seq = max((seq for seq, __ in best.values()), default=0)
         self._needs_recovery = False
@@ -485,10 +626,17 @@ class PageMappedFtl:
 
     def _invalidate_ppn(self, ppn: int) -> None:
         self.nand.invalidate(ppn)
+        self._rmap.pop(ppn, None)
         channel, chip, block, __ = self.geometry.unflatten(ppn)
         key = (channel, chip, block)
-        self._valid_count[key] = self._valid_count.get(key, 1) - 1
-        self._die_of[(channel, chip)].invalid_pages += 1
+        count = self._valid_count.get(key, 1) - 1
+        self._valid_count[key] = count
+        die = self._die_of[(channel, chip)]
+        die.invalid_pages += 1
+        if block in die.sealed:
+            # Keep the victim index current: sealed counts only ever
+            # shrink, so the freshest (smallest) entry is authoritative.
+            heapq.heappush(die.victim_heap, (count, block))
 
     def _check_lpn(self, lpn: int) -> None:
         if lpn < 0:

@@ -29,6 +29,7 @@ from repro.faults import (
 from repro.flash.controller import FlashController
 from repro.flash.dram import DeviceDram
 from repro.flash.ftl import PageMappedFtl
+from repro.flash.gc import make_gc_policy
 from repro.flash.geometry import NandGeometry, NandTiming
 from repro.flash.interface import INTERFACES, HostInterfaceSpec
 from repro.flash.nand import NandArray
@@ -65,6 +66,15 @@ class SsdSpec:
     dram_reserved_nbytes: int = 64 * MIB
     power: DevicePower = DevicePower(idle_w=1.3, active_w=8.0)
     verify_ecc: bool = True
+    #: FTL garbage-collection victim policy: ``"greedy"`` (min valid
+    #: pages; the historical default) or ``"cost-benefit"`` (age-weighted,
+    #: see :mod:`repro.flash.gc`).
+    gc_policy: str = "greedy"
+    #: Bias cost-benefit selection away from heavily-erased blocks
+    #: (ignored by the greedy policy).
+    gc_wear_leveling: bool = False
+    #: PRNG seed for the policy's deterministic tie-breaking stream.
+    gc_seed: int = 0
 
 
 class Ssd:
@@ -74,7 +84,13 @@ class Ssd:
         self.sim = sim
         self.spec = spec or SsdSpec()
         self.nand = NandArray(self.spec.geometry)
-        self.ftl = PageMappedFtl(self.spec.geometry, self.nand)
+        self.ftl = PageMappedFtl(
+            self.spec.geometry, self.nand,
+            gc_policy=make_gc_policy(
+                self.spec.gc_policy,
+                wear_leveling=self.spec.gc_wear_leveling,
+                seed=self.spec.gc_seed),
+            sim=sim)
         self.controller = FlashController(
             sim, self.spec.geometry, self.spec.timing, self.nand, self.ftl,
             dram_bus_rate=self.spec.dram_bus_rate,

@@ -266,6 +266,9 @@ class Database:
                                  - snap["dram_bytes"]),
             buffer_pool_hits=self.buffer_pool.hits - bp_hits_before,
             buffer_pool_misses=self.buffer_pool.misses - bp_misses_before,
+            host_writes=self._ftl_host_writes(device) - snap["host_writes"],
+            gc_relocations=(self._ftl_gc_relocations(device)
+                            - snap["gc_relocations"]),
         )
         device_cpu = 0.0
         if isinstance(device, SmartSsd):
@@ -336,17 +339,21 @@ class Database:
                       placement=Placement.coerce(placement).value)
 
     def update_rows(self, table_name: str, predicate,
-                    assignments) -> int:
+                    assignments, bump_version: bool = True) -> int:
         """Timed UPDATE through the buffer pool; returns rows changed.
 
         The rewritten pages stay dirty in the buffer pool, which makes
         pushdown on the table unsafe (§4.3) until :meth:`flush_table`.
         ``assignments`` maps column names to values or expression trees.
+        ``bump_version=False`` defers the catalog version bump to the
+        caller — the serving layer uses it to make a multi-shard update
+        visible atomically (one logical bump after every shard applied).
         """
         from repro.host.dml import update_process
         self.note_world_mutation()
         proc = self.sim.process(
-            update_process(self, table_name, predicate, assignments),
+            update_process(self, table_name, predicate, assignments,
+                           bump_version=bump_version),
             name=f"update-{table_name}")
         self.sim.run()
         if not proc.triggered:
@@ -463,7 +470,8 @@ class Database:
         if report.io is not None:
             for field_name in ("pages_read_device", "bytes_over_interface",
                                "bytes_over_dram_bus", "buffer_pool_hits",
-                               "buffer_pool_misses"):
+                               "buffer_pool_misses", "host_writes",
+                               "gc_relocations"):
                 value = getattr(report.io, field_name)
                 if value:
                     metrics.counter(f"io.{field_name}", **labels).inc(value)
@@ -480,9 +488,12 @@ class Database:
 
     def _busy_snapshot(self, device: Any) -> dict[str, float]:
         now = self.sim.now
+        ftl = getattr(device, "ftl", None)  # the HDD has no FTL
         snap = {
             "interface_bytes": self._interface_bytes(device),
             "dram_bytes": self._dram_bytes(device),
+            "host_writes": 0 if ftl is None else ftl.stats.host_writes,
+            "gc_relocations": 0 if ftl is None else ftl.stats.gc_relocations,
             "io_busy": self._io_busy(device),
             # For the HDD the actuator *is* the transfer path.
             "interface_busy": (device.actuator.busy.busy_time(now)
@@ -523,6 +534,14 @@ class Database:
 
     def _interface_bytes(self, device: Any) -> int:
         return device.interface.bytes_moved
+
+    def _ftl_host_writes(self, device: Any) -> int:
+        ftl = getattr(device, "ftl", None)
+        return 0 if ftl is None else ftl.stats.host_writes
+
+    def _ftl_gc_relocations(self, device: Any) -> int:
+        ftl = getattr(device, "ftl", None)
+        return 0 if ftl is None else ftl.stats.gc_relocations
 
     def _dram_bytes(self, device: Any) -> int:
         if isinstance(device, Hdd):

@@ -34,12 +34,19 @@ if TYPE_CHECKING:
 def update_process(db: "Database", table_name: str, predicate: Expr | None,
                    assignments: Mapping[str, Any],
                    io_unit_pages: int = IO_UNIT_PAGES,
+                   bump_version: bool = True,
+                   counters_out: WorkCounters | None = None,
                    ) -> Generator[Event, None, int]:
     """Timed UPDATE ... SET ... WHERE; returns the number of rows changed.
 
     ``assignments`` maps column names to either plain values (validated by
     the column type) or :class:`Expr` trees evaluated against the matching
     rows (so ``{"price": Mul(Col("price"), Const(2))}`` works).
+
+    ``bump_version=False`` leaves the catalog version bump to the caller
+    (the serving layer and the scheduler's write units bump the *logical*
+    relation once, after flush). ``counters_out`` accumulates the priced
+    work counters for callers that report them (the write units).
     """
     table = db.catalog.table(table_name)
     device = db.device(table.device_name)
@@ -100,7 +107,9 @@ def update_process(db: "Database", table_name: str, predicate: Expr | None,
                                   dirty=True)
             updated += hit_count
         yield from db.machine.compute(db.costs.cycles(counters))
-    if updated:
+        if counters_out is not None:
+            counters_out.add(counters)
+    if updated and bump_version:
         # Any write bumps the relation's content version, making every
         # serving-layer cache entry keyed on the old version unreachable.
         db.catalog.bump_version(table_name)

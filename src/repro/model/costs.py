@@ -58,6 +58,14 @@ class CycleCosts:
     # efficiency factor: command handling, completion, GET-poll servicing —
     # the firmware overhead the paper's §5 complains about.)
 
+    # Write-path firmware overheads (counted only by the scheduler's DML
+    # write units; see WorkCounters). Programs/relocations pay the FTL's
+    # map update and command issue, erases the block bookkeeping — the
+    # NAND array times themselves are charged at the flash channels.
+    host_page_write: int = 900      # map update + program command issue
+    gc_page_relocation: int = 1400  # victim read + map fix + reprogram
+    gc_block_erase: int = 3200      # erase issue + free-list/wear update
+
     #: Hash tables larger than this count as DRAM-resident on the device.
     device_cache_nbytes: int = 4 * MIB
 
@@ -89,6 +97,9 @@ class CycleCosts:
             + counters.output_values * self.output_value_copy
             + counters.zone_map_checks * self.zone_map_check
             + counters.io_units * self.io_unit_overhead_cycles
+            + counters.host_page_writes * self.host_page_write
+            + counters.gc_page_relocations * self.gc_page_relocation
+            + counters.gc_block_erases * self.gc_block_erase
         )
 
 

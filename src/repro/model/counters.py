@@ -63,6 +63,13 @@ class WorkCounters:
     #                                 (non-predicate columns of pages whose
     #                                 rows all failed the filter)
 
+    # Write-path accounting (priced — firmware command/map/erase overhead
+    # cycles — but only ever incremented by the scheduler's DML write
+    # units, so read-only runs price to exactly what they always did).
+    host_page_writes: int = 0       # pages programmed on behalf of the host
+    gc_page_relocations: int = 0    # live pages GC moved to reclaim space
+    gc_block_erases: int = 0        # blocks erased by garbage collection
+
     def add(self, other: "WorkCounters") -> None:
         """Accumulate another counter set into this one."""
         mine = self.__dict__

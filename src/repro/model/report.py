@@ -33,6 +33,19 @@ class IoStats:
     bytes_over_dram_bus: int = 0   # bytes that crossed the device DRAM bus
     buffer_pool_hits: int = 0
     buffer_pool_misses: int = 0
+    host_writes: int = 0           # pages the host asked the device to write
+    gc_relocations: int = 0        # live pages GC rewrote behind those writes
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical-to-logical write ratio: (host + GC) / host writes.
+
+        1.0 when GC never had to move a live page; 0.0 for read-only runs
+        (no host writes to amplify).
+        """
+        if self.host_writes == 0:
+            return 0.0
+        return (self.host_writes + self.gc_relocations) / self.host_writes
 
 
 @dataclass
@@ -85,6 +98,8 @@ class ExecutionReport:
                 "bytes_over_dram_bus": self.io.bytes_over_dram_bus,
                 "buffer_pool_hits": self.io.buffer_pool_hits,
                 "buffer_pool_misses": self.io.buffer_pool_misses,
+                "host_writes": self.io.host_writes,
+                "gc_relocations": self.io.gc_relocations,
             },
             "energy": None if self.energy is None else {
                 "elapsed_seconds": self.energy.elapsed_seconds,

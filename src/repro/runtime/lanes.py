@@ -23,6 +23,10 @@ which is always available and always exact. The decline reasons are:
 ``dirty_pages``
     the buffer pool holds newer-than-device pages, so device scans are
     not authoritative and the serial path's pushdown veto must decide.
+``write_dml``
+    the batch contains scheduler write units: DML mutates the buffer
+    pool, catalog versions, and device FTL state — host-side couplings a
+    lane clone cannot merge back.
 ``unpicklable``
     (process backend only) the batch payload cannot cross a pipe.
 """
@@ -79,6 +83,8 @@ def plan_lanes(scheduler, units) -> tuple[Optional[LanePlan], str]:
 
     per_unit: list[set] = []
     for kind, members in units:
+        if kind == "write":
+            return None, "write_dml"
         devices = _unit_devices(db, members)
         if devices is None:
             return None, "host_placement"

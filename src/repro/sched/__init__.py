@@ -1,7 +1,7 @@
 """Concurrent query scheduling: admission control + cooperative scan
 sharing (see :mod:`repro.sched.scheduler` and ``docs/SCHEDULER.md``),
-plus per-tenant token-bucket QoS for the serving layer
-(:mod:`repro.sched.qos`)."""
+first-class DML write units (:mod:`repro.writepath`), plus per-tenant
+token-bucket QoS for the serving layer (:mod:`repro.sched.qos`)."""
 
 from repro.sched.qos import TenantSpec, TokenBucket
 from repro.sched.scheduler import (
@@ -10,6 +10,7 @@ from repro.sched.scheduler import (
     SchedulerConfig,
     Submission,
 )
+from repro.writepath import WriteTicket
 
 __all__ = [
     "AdmissionPolicy",
@@ -18,4 +19,5 @@ __all__ = [
     "Submission",
     "TenantSpec",
     "TokenBucket",
+    "WriteTicket",
 ]

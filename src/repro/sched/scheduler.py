@@ -50,6 +50,7 @@ from repro.host.executor import (
 from repro.model.report import ExecutionReport
 from repro.sim import Resource
 from repro.smart.device import SmartSsd
+from repro.writepath import WriteTicket, write_unit_process
 
 if TYPE_CHECKING:
     from repro.host.db import Database
@@ -87,6 +88,14 @@ class SchedulerConfig:
     #: one however many queries ride it. The default matches the device
     #: runtime's session cap.
     max_inflight_per_device: int = 4
+    #: Concurrent DML write units admitted per device. Writes pass their
+    #: own (smaller) gate so a DML burst cannot occupy the scan slots —
+    #: and vice versa (see :mod:`repro.writepath`).
+    max_inflight_writes_per_device: int = 2
+    #: Batch same-table write units into one dirty-page write-back: the
+    #: last unit to apply its update flushes for the whole group. Off,
+    #: every write unit flushes its own table immediately.
+    group_flush: bool = True
     policy: AdmissionPolicy = AdmissionPolicy.FIFO
     #: Fuse concurrently admitted same-extent queries into one scan.
     share_scans: bool = True
@@ -127,11 +136,13 @@ class QueryScheduler:
         self.db = db
         self.config = config or SchedulerConfig()
         self.submissions: list[Submission] = []
+        self.write_submissions: list[WriteTicket] = []
         #: Accounting of the most recent :meth:`gather` run.
         self.stats: dict = {}
         # Live shared scans, keyed by (device, table): ATTACH targets.
         self._live: dict[tuple[str, str], SharedScanHandle] = {}
         self._admission: dict[str, Resource] = {}
+        self._write_admission: dict[str, Resource] = {}
         #: Parallel-runtime accounting (batches run parallel vs serial,
         #: fleet builds, fallback reasons) — separate from :attr:`stats`,
         #: which stays backend-independent.
@@ -166,6 +177,29 @@ class QueryScheduler:
         self.submissions.append(submission)
         return submission
 
+    def submit_update(self, table_name: str, predicate, assignments,
+                      at: float = 0.0) -> WriteTicket:
+        """Enqueue an UPDATE as a first-class write unit; returns its ticket.
+
+        ``at`` is the statement's arrival offset in virtual seconds from
+        the start of the next gather window. Like :meth:`submit`, nothing
+        runs until :meth:`gather`; the ticket's accounting fields (rows
+        changed, pages flushed, FTL write amplification) are filled in by
+        the run. Write tickets do not occupy report slots — ``gather``
+        still returns exactly one report per query submission.
+        """
+        table = self.db.catalog.table(table_name)  # validate early
+        for name in assignments:
+            table.schema.column_index(name)
+        if at < 0:
+            raise PlanError(f"negative arrival offset: {at}")
+        ticket = WriteTicket(windex=len(self.write_submissions),
+                             table=table_name, predicate=predicate,
+                             assignments=dict(assignments),
+                             arrival=float(at))
+        self.write_submissions.append(ticket)
+        return ticket
+
     # -- the run -----------------------------------------------------------
 
     @staticmethod
@@ -184,14 +218,29 @@ class QueryScheduler:
             "admission_waits": [],
             "max_queue_depth": {},
             "solo_fast_path": 0,
+            "write_submitted": 0,
+            "write_rows_changed": 0,
+            "write_pages_flushed": 0,
+            "write_admission_waits": [],
+            "group_flushes": 0,
         }
 
     def gather(self) -> list[ExecutionReport]:
-        """Run every pending submission to completion; reports in order."""
+        """Run every pending submission to completion; reports in order.
+
+        Pending write tickets (:meth:`submit_update`) run in the same
+        window, through their own per-device admission gate; their results
+        land on the tickets, not in the returned report list.
+        """
         submissions, self.submissions = self.submissions, []
-        if not submissions:
+        writes, self.write_submissions = self.write_submissions, []
+        if not submissions and not writes:
             return []
         self.stats = self._fresh_stats(len(submissions))
+        if writes:
+            self.stats["write_submitted"] = len(writes)
+            self.db.note_world_mutation()
+            return self._run(submissions, writes)
         if len(submissions) == 1 and submissions[0].arrival == 0.0:
             # Solo fast path: a single immediate submission goes through
             # the canonical single-query entry point, so its report is
@@ -323,6 +372,29 @@ class QueryScheduler:
                                   device=device_name).observe(wait)
             obs.metrics.gauge("sched.queue_depth",
                               device=device_name).set(gate.queue_length)
+        return wait
+
+    def _admit_write(self, device_name: str, track: str):
+        """Acquire one write-unit slot on a device (a sim sub-process).
+
+        Writes pass a separate, smaller gate than scan admission so DML
+        bursts and scan storms cannot starve each other's in-flight slots.
+        """
+        sim = self.db.sim
+        obs = sim.obs
+        gate = self._write_admission[device_name]
+        queued = sim.now
+        span = None
+        if obs is not None:
+            span = obs.span("sched.write_queued", track=track,
+                            device=device_name).__enter__()
+        yield gate.request()
+        wait = sim.now - queued
+        self.stats["write_admission_waits"].append(wait)
+        if obs is not None:
+            span.set(wait_seconds=wait).finish()
+            obs.metrics.histogram("sched.write_admission_wait_seconds",
+                                  device=device_name).observe(wait)
         return wait
 
     def _record(self, submission: Submission, outcome: QueryOutcome,
@@ -534,13 +606,29 @@ class QueryScheduler:
                            name=f"sched-admission-{name}")
             for name in db.device_names()
         }
+        self._write_admission = {
+            name: Resource(sim, self.config.max_inflight_writes_per_device,
+                           name=f"sched-write-admission-{name}")
+            for name in db.device_names()
+        }
         self._live = {}
+        # Group-flush countdown: the last write unit to apply its update
+        # on a table runs the write-back for the whole group.
+        flush_countdown: dict[str, int] = {}
+        for kind, members in units:
+            if kind == "write":
+                table = members[0].table
+                flush_countdown[table] = flush_countdown.get(table, 0) + 1
         procs = []
         for kind, members in units:
             if kind == "shared":
                 procs.append(sim.process(
                     self._shared_unit(members),
                     name=f"sched-shared-{members[0].index}"))
+            elif kind == "write":
+                procs.append(sim.process(
+                    write_unit_process(self, members[0], flush_countdown),
+                    name=f"sched-write-{members[0].windex}"))
             else:
                 procs.append(sim.process(
                     self._solo_unit(members[0]),
@@ -567,11 +655,19 @@ class QueryScheduler:
 
     # -- window accounting -------------------------------------------------
 
-    def _run(self, submissions: list[Submission]) -> list[ExecutionReport]:
+    def _run(self, submissions: list[Submission],
+             writes: list[WriteTicket] = (),
+             ) -> list[ExecutionReport]:
         db = self.db
         sim = db.sim
         obs = sim.obs
         units = self._plan(submissions)
+        if writes:
+            # Write units join the batch after the policy-sorted scan
+            # units; their own ordering is (arrival, submission order).
+            units.extend(("write", [ticket]) for ticket in
+                         sorted(writes,
+                                key=lambda t: (t.arrival, t.windex)))
 
         spans_before = len(obs.spans) if obs is not None else 0
         start = sim.now
@@ -590,6 +686,11 @@ class QueryScheduler:
                       for name, device in db._devices.items()]
         energy = db.energy_meter.measure(window, host_cpu, activities)
         self.stats["window_seconds"] = window
+        if writes:
+            self.stats["write_rows_changed"] = sum(
+                ticket.rows_changed for ticket in writes)
+            self.stats["write_pages_flushed"] = sum(
+                ticket.pages_flushed for ticket in writes)
 
         profile = obs.profile(spans_before) if obs is not None else None
         reports = []

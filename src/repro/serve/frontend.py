@@ -267,6 +267,11 @@ class Frontend:
         dirty pages back so device-side pushdown stays safe, and bumps
         the catalog version — invalidating every cached result for the
         table in O(1).
+
+        The version bump is atomic across shards: every shard applies
+        with its bump suppressed, and the *logical* table version rises
+        exactly once after the last shard flushed — a cache entry can
+        never bind a version in which some shards are new and others old.
         """
         catalog = self.db.catalog
         if catalog.is_sharded(table_name):
@@ -275,14 +280,21 @@ class Frontend:
         else:
             catalog.table(table_name)
             names = [table_name]
+        start = self.db.sim.now
         changed = 0
         for name in names:
-            changed += self.db.update_rows(name, predicate, assignments)
+            changed += self.db.update_rows(name, predicate, assignments,
+                                           bump_version=False)
             self.db.flush_table(name)
+        if changed:
+            catalog.bump_version(table_name)
         obs = self.db.sim.obs
         if obs is not None:
             obs.metrics.counter("serve.invalidations",
                                 table=table_name).inc()
+            obs.metrics.histogram(
+                "serve.dml_latency_seconds",
+                table=table_name).observe(self.db.sim.now - start)
         return changed
 
     # -- the gather cycle --------------------------------------------------

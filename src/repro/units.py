@@ -38,6 +38,11 @@ def fmt_bytes(n: int) -> str:
     raise AssertionError("unreachable")
 
 
+def fmt_ratio(value: float) -> str:
+    """Render a dimensionless ratio (speedup, write amplification)."""
+    return f"{value:.2f}x"
+
+
 def fmt_seconds(t: float) -> str:
     """Render a duration in the most natural unit (us/ms/s)."""
     if t < 1e-3:

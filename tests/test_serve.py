@@ -414,6 +414,36 @@ class TestFrontendCache:
         off.gather()
         assert repr(check.result()) == repr(fresh.result())
 
+    def test_multi_shard_update_bumps_version_atomically(self):
+        # Regression: the front-door UPDATE used to bump the logical
+        # version once per shard, so a cache entry could bind an
+        # intermediate version in which some shards were new and others
+        # old. Now every shard applies with its bump suppressed and the
+        # logical version rises exactly once, after the last flush.
+        db = build_sharded(3, with_part=False)
+        obs = db.enable_observability()
+        frontend = Frontend(db)
+        before = db.catalog.version("lineitem")
+        changed = frontend.update(
+            "lineitem", Compare(Col("l_quantity"), "<", Const(2500)),
+            {"l_discount": 0})
+        assert changed > 0
+        assert db.catalog.version("lineitem") == before + 1
+        latency = obs.metrics.snapshot()[
+            "serve.dml_latency_seconds{table=lineitem}"]
+        assert latency["count"] == 1
+        assert latency["min"] > 0
+
+    def test_noop_update_does_not_bump_version(self):
+        db = build_sharded(2, with_part=False)
+        frontend = Frontend(db)
+        before = db.catalog.version("lineitem")
+        changed = frontend.update(
+            "lineitem", Compare(Col("l_quantity"), "<", Const(-1)),
+            {"l_discount": 0})
+        assert changed == 0
+        assert db.catalog.version("lineitem") == before
+
     def test_cache_hits_record_latency_and_fan_out(self):
         # Regression: hits used to skip the metrics block entirely, so a
         # warming cache *thinned out* the latency series instead of
